@@ -1,0 +1,7 @@
+"""Setuptools shim so ``pip install -e .`` works on offline environments
+without the ``wheel`` package (legacy ``setup.py develop`` path).  All
+project metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""``repro.backbones`` — pretrained encoder analogs of ResNet-50 and BiT."""
+
+from .backbone import (BackboneSpec, ClassificationModel, Encoder,
+                       PretrainedBackbone)
+from .pretrain import (BackboneRegistry, PretrainSpec, bit_imagenet21k,
+                       default_registry, pretrain_backbone, resnet50_imagenet1k)
+
+__all__ = [
+    "BackboneSpec", "Encoder", "PretrainedBackbone", "ClassificationModel",
+    "PretrainSpec", "pretrain_backbone", "resnet50_imagenet1k",
+    "bit_imagenet21k", "BackboneRegistry", "default_registry",
+]

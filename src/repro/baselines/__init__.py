@@ -1,0 +1,22 @@
+"""``repro.baselines`` — the comparison methods of the paper's evaluation.
+
+Fine-tuning and distilled fine-tuning (transfer learning), FixMatch and Meta
+Pseudo Labels (semi-supervised learning), and SimCLRv2 (self-supervised; the
+paper excluded it from the tables because it degrades on small datasets, but
+the method is implemented for completeness).
+"""
+
+from .base import BaselineInput, BaselineMethod
+from .finetune import (DistilledFineTuningBaseline, FineTuningBaseline,
+                       FineTuningConfig)
+from .fixmatch import FixMatchBaseline
+from .meta_pseudo_labels import MetaPseudoLabelsBaseline, MetaPseudoLabelsConfig
+from .simclr import SimCLRBaseline, SimCLRConfig, nt_xent_loss
+
+__all__ = [
+    "BaselineInput", "BaselineMethod",
+    "FineTuningBaseline", "DistilledFineTuningBaseline", "FineTuningConfig",
+    "FixMatchBaseline",
+    "MetaPseudoLabelsBaseline", "MetaPseudoLabelsConfig",
+    "SimCLRBaseline", "SimCLRConfig", "nt_xent_loss",
+]

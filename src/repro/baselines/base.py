@@ -1,0 +1,53 @@
+"""Common interface of the baseline methods used in the paper's evaluation.
+
+Baselines consume the same spectrum of data as TAGLETS (minus SCADS): the
+labeled target set, optionally the unlabeled pool, and a pretrained backbone.
+They produce a classifier with the same prediction interface as a taglet, so
+the experiment runner can evaluate every method uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..backbones.backbone import PretrainedBackbone
+from ..modules.base import Taglet
+
+__all__ = ["BaselineInput", "BaselineMethod"]
+
+
+@dataclass
+class BaselineInput:
+    """Data available to a baseline method."""
+
+    labeled_features: np.ndarray
+    labeled_labels: np.ndarray
+    unlabeled_features: np.ndarray
+    num_classes: int
+    backbone: PretrainedBackbone
+    seed: int = 0
+
+    def validate(self) -> None:
+        if len(self.labeled_features) != len(self.labeled_labels):
+            raise ValueError("labeled features/labels length mismatch")
+        if len(self.labeled_features) == 0:
+            raise ValueError("baselines require at least one labeled example")
+        if self.num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        if np.asarray(self.labeled_labels).max() >= self.num_classes:
+            raise ValueError("labels reference classes beyond num_classes")
+
+
+class BaselineMethod:
+    """A comparison method producing a classifier over the target classes."""
+
+    name = "baseline"
+
+    def train(self, data: BaselineInput) -> Taglet:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"

@@ -1,0 +1,114 @@
+"""The SimCLRv2 baseline (Chen et al., 2020; paper Section 4.2).
+
+SimCLRv2 pretrains an encoder with a contrastive (NT-Xent) loss on augmented
+pairs of unlabeled examples and then fine-tunes on the labeled data.  The
+paper found its performance deteriorates badly on these small task-specific
+datasets and excluded it from the result tables; we implement it anyway (the
+system inventory includes every compared method) and the benchmark harness
+reports it separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..backbones.backbone import ClassificationModel
+from ..modules.base import ModelTaglet, Taglet
+from ..nn import functional as F
+from ..nn.data import DataLoader, UnlabeledDataset
+from ..nn.modules import Linear, ReLU, Sequential
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, concatenate
+from ..nn.training import TrainConfig, train_classifier
+from ..nn.transforms import strong_augment, weak_augment
+from .base import BaselineInput, BaselineMethod
+
+__all__ = ["SimCLRConfig", "SimCLRBaseline", "nt_xent_loss"]
+
+
+@dataclass
+class SimCLRConfig:
+    """Contrastive pretraining + fine-tuning recipe."""
+
+    pretrain_epochs: int = 8
+    pretrain_batch_size: int = 128
+    pretrain_lr: float = 1e-3
+    temperature: float = 0.5
+    projection_dim: int = 16
+    finetune_epochs: int = 30
+    finetune_lr: float = 0.01
+    momentum: float = 0.9
+
+
+def nt_xent_loss(projections_a: Tensor, projections_b: Tensor,
+                 temperature: float) -> Tensor:
+    """Normalized-temperature cross entropy over positive pairs.
+
+    ``projections_a[i]`` and ``projections_b[i]`` are two views of the same
+    example; every other example in the batch is a negative.
+    """
+    n = projections_a.shape[0]
+    both = concatenate([projections_a, projections_b], axis=0)
+    norms = (both * both).sum(axis=1, keepdims=True) ** 0.5
+    normalized = both / (norms + 1e-12)
+    similarity = (normalized @ normalized.T) * (1.0 / temperature)
+    # Mask self-similarity by subtracting a large constant on the diagonal.
+    mask = np.eye(2 * n) * 1e9
+    logits = similarity - Tensor(mask)
+    targets = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    return F.cross_entropy(logits, targets)
+
+
+class SimCLRBaseline(BaselineMethod):
+    """Contrastive pretraining on unlabeled data, then supervised fine-tuning."""
+
+    name = "simclrv2"
+
+    def __init__(self, config: Optional[SimCLRConfig] = None):
+        self.config = config or SimCLRConfig()
+
+    def train(self, data: BaselineInput) -> Taglet:
+        data.validate()
+        config = self.config
+        rng = np.random.default_rng(data.seed)
+        encoder = data.backbone.instantiate(rng=rng)
+        projector = Sequential(
+            Linear(data.backbone.feature_dim, config.projection_dim, rng=rng),
+            ReLU(),
+            Linear(config.projection_dim, config.projection_dim, rng=rng))
+
+        if len(data.unlabeled_features):
+            weak = weak_augment()
+            strong = strong_augment()
+            loader = DataLoader(UnlabeledDataset(data.unlabeled_features),
+                                batch_size=min(config.pretrain_batch_size,
+                                               len(data.unlabeled_features)),
+                                shuffle=True, rng=np.random.default_rng(data.seed))
+            optimizer = Adam(encoder.parameters() + projector.parameters(),
+                             lr=config.pretrain_lr)
+            encoder.train()
+            projector.train()
+            for _ in range(config.pretrain_epochs):
+                for batch in loader:
+                    if len(batch) < 2:
+                        continue
+                    view_a = weak(batch, rng)
+                    view_b = strong(batch, rng)
+                    proj_a = projector(encoder(Tensor(view_a)))
+                    proj_b = projector(encoder(Tensor(view_b)))
+                    loss = nt_xent_loss(proj_a, proj_b, config.temperature)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+
+        model = ClassificationModel(encoder, num_classes=data.num_classes, rng=rng)
+        finetune = TrainConfig(epochs=config.finetune_epochs, batch_size=32,
+                               lr=config.finetune_lr, momentum=config.momentum,
+                               scheduler="multistep",
+                               milestones=(config.finetune_epochs * 2 // 3,),
+                               augment=weak_augment(), seed=data.seed)
+        train_classifier(model, data.labeled_features, data.labeled_labels, finetune)
+        return ModelTaglet(self.name, model)

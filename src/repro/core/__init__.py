@@ -1,0 +1,6 @@
+"""``repro.core`` — the public TAGLETS API: :class:`Task` and :class:`Controller`."""
+
+from .controller import Controller, ControllerConfig, TagletsResult
+from .task import Task
+
+__all__ = ["Task", "Controller", "ControllerConfig", "TagletsResult"]

@@ -1,0 +1,13 @@
+"""``repro.datasets`` — synthetic counterparts of the paper's evaluation tasks."""
+
+from .base import ClassSpec, TargetDataset, TaskSplit, make_split
+from .builders import (DATASET_BUILDERS, TEST_PER_CLASS, build_cifar_demo,
+                       build_dataset, build_fmd, build_grocery_store,
+                       build_officehome_clipart, build_officehome_product)
+
+__all__ = [
+    "ClassSpec", "TargetDataset", "TaskSplit", "make_split",
+    "DATASET_BUILDERS", "TEST_PER_CLASS", "build_dataset",
+    "build_fmd", "build_officehome_product", "build_officehome_clipart",
+    "build_grocery_store", "build_cifar_demo",
+]

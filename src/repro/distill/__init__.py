@@ -1,0 +1,5 @@
+"""``repro.distill`` — training the single servable end model."""
+
+from .end_model import EndModel, EndModelConfig, train_end_model
+
+__all__ = ["EndModel", "EndModelConfig", "train_end_model"]

@@ -1,0 +1,5 @@
+"""``repro.ensemble`` — combining taglet predictions into soft pseudo labels."""
+
+from .voting import TagletEnsemble, ensemble_probabilities, vote_matrix
+
+__all__ = ["TagletEnsemble", "ensemble_probabilities", "vote_matrix"]

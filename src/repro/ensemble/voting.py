@@ -1,0 +1,76 @@
+"""Unsupervised ensembling of taglets (paper Section 3.3).
+
+Each taglet returns a probability vector per example; the vectors are stacked
+into a vote matrix ``V`` of shape ``(|T|, C)`` and averaged into the soft
+pseudo label ``p_x = 1/|T| * sum_t V_t`` (Eq. 6).  The ensemble is also a
+classifier in its own right, which the paper analyses separately from the
+distilled end model (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..modules.base import Taglet
+
+__all__ = ["vote_matrix", "ensemble_probabilities", "TagletEnsemble"]
+
+
+def vote_matrix(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack per-taglet probability matrices into a ``(|T|, n, C)`` vote tensor."""
+    if not taglet_probabilities:
+        raise ValueError("at least one taglet prediction is required")
+    stacked = np.stack([np.asarray(p, dtype=np.float64) for p in taglet_probabilities])
+    if stacked.ndim != 3:
+        raise ValueError("each taglet prediction must be an (n, C) matrix")
+    first = stacked[0].shape
+    for probs in stacked[1:]:
+        if probs.shape != first:
+            raise ValueError("taglet predictions disagree on shape")
+    return stacked
+
+
+def ensemble_probabilities(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
+    """Soft pseudo labels: the average of the taglets' probability vectors (Eq. 6)."""
+    votes = vote_matrix(taglet_probabilities)
+    pseudo = votes.mean(axis=0)
+    # Guard against numerical drift: renormalize rows to sum to one.
+    row_sums = pseudo.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    return pseudo / row_sums
+
+
+class TagletEnsemble:
+    """A collection of taglets acting as a single (non-servable) classifier."""
+
+    def __init__(self, taglets: Sequence[Taglet]):
+        if not taglets:
+            raise ValueError("an ensemble needs at least one taglet")
+        self.taglets = list(taglets)
+
+    @property
+    def names(self) -> List[str]:
+        return [t.name for t in self.taglets]
+
+    def member_probabilities(self, features: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-taglet probability matrices, keyed by taglet name."""
+        return {t.name: t.predict_proba(features) for t in self.taglets}
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        member = [t.predict_proba(features) for t in self.taglets]
+        return ensemble_probabilities(member)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        if len(features) == 0:
+            return 0.0
+        return float((self.predict(features) == np.asarray(labels)).mean())
+
+    def member_accuracies(self, features: np.ndarray,
+                          labels: np.ndarray) -> Dict[str, float]:
+        """Accuracy of each member taglet (the per-module numbers of Figure 5)."""
+        return {t.name: t.accuracy(features, labels) for t in self.taglets}

@@ -1,0 +1,75 @@
+"""Metrics and statistics used to report results.
+
+The paper reports top-1 accuracy with 95% confidence intervals over three
+training seeds (Appendix A.2); :func:`mean_confidence_interval` reproduces
+that statistic with a Student-t interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["top1_accuracy", "confusion_matrix", "mean_confidence_interval",
+           "Aggregate"]
+
+
+def top1_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions equal to the labels (as a percentage would be *100)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if len(labels) == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """Row = true class, column = predicted class."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclass
+class Aggregate:
+    """Mean with a symmetric 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.half_width:.2f}"
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return self.mean, self.half_width
+
+    def overlaps(self, other: "Aggregate") -> bool:
+        """Whether the two 95% intervals overlap (the paper's tie criterion)."""
+        return abs(self.mean - other.mean) <= (self.half_width + other.half_width)
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             confidence: float = 0.95) -> Aggregate:
+    """Student-t confidence interval of the mean of ``values``.
+
+    With a single observation the half-width is 0 (no spread information),
+    matching how single-seed smoke runs are reported.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot aggregate an empty list of values")
+    mean = float(values.mean())
+    if values.size == 1:
+        return Aggregate(mean=mean, half_width=0.0, count=1)
+    sem = float(values.std(ddof=1) / np.sqrt(values.size))
+    t_critical = float(stats.t.ppf((1 + confidence) / 2.0, df=values.size - 1))
+    return Aggregate(mean=mean, half_width=t_critical * sem, count=int(values.size))

@@ -1,0 +1,215 @@
+"""The experiment runner: every cell of the paper's tables is one call here.
+
+A *method* is a named recipe mapping ``(workspace, split, backbone_name,
+seed)`` to a result record.  The registry contains the paper's baselines and
+TAGLETS variants (full system, pruned SCADS, leave-one-module-out), and
+:class:`ExperimentRunner` sweeps methods over datasets, shot counts, splits,
+backbones and seeds, producing flat records the table/figure formatters
+aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import (BaselineInput, DistilledFineTuningBaseline,
+                         FineTuningBaseline, FixMatchBaseline,
+                         MetaPseudoLabelsBaseline, SimCLRBaseline)
+from ..core import Controller, ControllerConfig, Task
+from ..datasets.base import TaskSplit
+from ..modules import DEFAULT_MODULES
+from ..workspace import Workspace
+from .metrics import Aggregate, mean_confidence_interval
+
+__all__ = ["ExperimentResult", "MethodSpec", "ExperimentRunner",
+           "taglets_method", "baseline_method", "METHOD_REGISTRY",
+           "aggregate_records"]
+
+
+@dataclass
+class ExperimentResult:
+    """One (method, dataset, shots, split, backbone, seed) measurement."""
+
+    method: str
+    dataset: str
+    shots: int
+    split_seed: int
+    backbone: str
+    seed: int
+    accuracy: float
+    #: extra measurements (module accuracies, ensemble accuracy, ...)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        record = {
+            "method": self.method, "dataset": self.dataset, "shots": self.shots,
+            "split_seed": self.split_seed, "backbone": self.backbone,
+            "seed": self.seed, "accuracy": self.accuracy,
+        }
+        record.update({f"extra_{k}": v for k, v in self.extras.items()})
+        return record
+
+
+@dataclass
+class MethodSpec:
+    """A named method: a callable producing (accuracy, extras)."""
+
+    name: str
+    run: Callable[[Workspace, TaskSplit, str, int], ExperimentResult]
+
+
+# --------------------------------------------------------------------------- #
+# TAGLETS methods
+# --------------------------------------------------------------------------- #
+def taglets_method(name: str = "taglets",
+                   modules: Sequence[str] = DEFAULT_MODULES,
+                   prune_level: Optional[int] = None,
+                   num_related_concepts: int = 5,
+                   images_per_concept: int = 30) -> MethodSpec:
+    """Build a TAGLETS method spec (optionally pruned or with modules removed)."""
+
+    def run(workspace: Workspace, split: TaskSplit, backbone_name: str,
+            seed: int) -> ExperimentResult:
+        backbone = workspace.backbone(backbone_name)
+        task = Task.from_split(split, scads=workspace.scads, backbone=backbone,
+                               wanted_num_related_class=num_related_concepts,
+                               images_per_related_class=images_per_concept)
+        config = ControllerConfig(modules=modules, prune_level=prune_level,
+                                  seed=seed)
+        controller = Controller(config=config)
+        result = controller.run(task)
+        test_x, test_y = split.test_features, split.test_labels
+        extras: Dict[str, float] = {}
+        for module_name, accuracy in result.module_accuracies(test_x, test_y).items():
+            extras[f"module_{module_name}"] = accuracy
+        extras["ensemble"] = result.ensemble_accuracy(test_x, test_y)
+        accuracy = result.end_model_accuracy(test_x, test_y)
+        extras["end_model"] = accuracy
+        return ExperimentResult(method=name, dataset=split.dataset_name,
+                                shots=split.shots, split_seed=split.split_seed,
+                                backbone=backbone_name, seed=seed,
+                                accuracy=accuracy, extras=extras)
+
+    return MethodSpec(name=name, run=run)
+
+
+# --------------------------------------------------------------------------- #
+# Baseline methods
+# --------------------------------------------------------------------------- #
+def _build_baseline(name: str, workspace: Workspace, backbone_name: str):
+    if name == "finetune":
+        return FineTuningBaseline()
+    if name == "finetune_distilled":
+        return DistilledFineTuningBaseline()
+    if name == "fixmatch":
+        return FixMatchBaseline()
+    if name == "meta_pseudo_labels":
+        # The student always uses the ResNet-50 analog (paper Section 4.2).
+        return MetaPseudoLabelsBaseline(
+            student_backbone=workspace.backbone("resnet50"))
+    if name == "simclrv2":
+        return SimCLRBaseline()
+    raise KeyError(f"unknown baseline {name!r}")
+
+
+def baseline_method(name: str) -> MethodSpec:
+    """Build a baseline method spec by name."""
+
+    def run(workspace: Workspace, split: TaskSplit, backbone_name: str,
+            seed: int) -> ExperimentResult:
+        backbone = workspace.backbone(backbone_name)
+        baseline = _build_baseline(name, workspace, backbone_name)
+        data = BaselineInput(labeled_features=split.labeled_features,
+                             labeled_labels=split.labeled_labels,
+                             unlabeled_features=split.unlabeled_features,
+                             num_classes=split.num_classes,
+                             backbone=backbone, seed=seed)
+        taglet = baseline.train(data)
+        accuracy = taglet.accuracy(split.test_features, split.test_labels)
+        return ExperimentResult(method=name, dataset=split.dataset_name,
+                                shots=split.shots, split_seed=split.split_seed,
+                                backbone=backbone_name, seed=seed,
+                                accuracy=accuracy)
+
+    return MethodSpec(name=name, run=run)
+
+
+#: Methods appearing in the paper's main tables.
+METHOD_REGISTRY: Dict[str, MethodSpec] = {
+    "finetune": baseline_method("finetune"),
+    "finetune_distilled": baseline_method("finetune_distilled"),
+    "fixmatch": baseline_method("fixmatch"),
+    "meta_pseudo_labels": baseline_method("meta_pseudo_labels"),
+    "simclrv2": baseline_method("simclrv2"),
+    "taglets": taglets_method("taglets"),
+    "taglets_prune0": taglets_method("taglets_prune0", prune_level=0),
+    "taglets_prune1": taglets_method("taglets_prune1", prune_level=1),
+}
+
+#: The row order of Tables 1-4.
+TABLE_METHODS = ("finetune", "finetune_distilled", "fixmatch",
+                 "meta_pseudo_labels", "taglets")
+TABLE_PRUNED_METHODS = ("taglets_prune0", "taglets_prune1")
+
+
+class ExperimentRunner:
+    """Sweeps methods over the experimental grid and collects records."""
+
+    def __init__(self, workspace: Workspace,
+                 registry: Optional[Dict[str, MethodSpec]] = None):
+        self.workspace = workspace
+        self.registry = dict(registry or METHOD_REGISTRY)
+
+    def register(self, spec: MethodSpec) -> None:
+        self.registry[spec.name] = spec
+
+    def evaluate(self, method: str, dataset: str, shots: int, split_seed: int,
+                 backbone: str, seed: int) -> ExperimentResult:
+        """Run one cell of the grid."""
+        if method not in self.registry:
+            raise KeyError(f"unknown method {method!r}; known: {sorted(self.registry)}")
+        split = self.workspace.make_task_split(dataset, shots=shots,
+                                               split_seed=split_seed)
+        return self.registry[method].run(self.workspace, split, backbone, seed)
+
+    def run_grid(self, methods: Sequence[str], datasets: Sequence[str],
+                 shots_list: Sequence[int], backbones: Sequence[str],
+                 split_seeds: Sequence[int] = (0,),
+                 seeds: Sequence[int] = (0,),
+                 progress: Optional[Callable[[ExperimentResult], None]] = None
+                 ) -> List[ExperimentResult]:
+        """Run the full cartesian grid and return all records."""
+        records: List[ExperimentResult] = []
+        for dataset in datasets:
+            for shots in shots_list:
+                for split_seed in split_seeds:
+                    for backbone in backbones:
+                        for method in methods:
+                            for seed in seeds:
+                                record = self.evaluate(method, dataset, shots,
+                                                       split_seed, backbone, seed)
+                                records.append(record)
+                                if progress is not None:
+                                    progress(record)
+        return records
+
+
+def aggregate_records(records: Iterable[ExperimentResult],
+                      group_by: Sequence[str] = ("method", "dataset", "shots",
+                                                 "backbone", "split_seed"),
+                      value: str = "accuracy") -> Dict[tuple, Aggregate]:
+    """Aggregate records into mean ± 95% CI keyed by the grouping fields.
+
+    ``value`` may be ``accuracy`` or ``extra_<name>`` for any extra metric.
+    """
+    grouped: Dict[tuple, List[float]] = {}
+    for record in records:
+        data = record.as_dict()
+        if value not in data:
+            continue
+        key = tuple(data[g] for g in group_by)
+        grouped.setdefault(key, []).append(float(data[value]))
+    return {key: mean_confidence_interval(values) for key, values in grouped.items()}

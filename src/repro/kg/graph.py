@@ -1,0 +1,212 @@
+"""Knowledge-graph data structure used as the backbone of SCADS.
+
+The original system uses ConceptNet 5.5, whose nodes are natural-language
+concepts and whose edges carry typed relations (``IsA``, ``RelatedTo``,
+``AtLocation``, ...).  This module provides an equivalent structure on top of
+:mod:`networkx`, with first-class support for the operations SCADS needs:
+
+* typed, weighted edges between concepts,
+* a distinguished ``IsA`` hierarchy (the WordNet-style semantic tree used by
+  the pruning experiments of Section 4.3),
+* descendant/ancestor queries and node removal for pruning,
+* neighbourhood queries used by embedding retrofitting and by the ZSL-KG
+  graph neural network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["Relation", "KnowledgeGraph"]
+
+
+class Relation:
+    """Canonical relation names, mirroring the ConceptNet relation vocabulary."""
+
+    IS_A = "IsA"
+    RELATED_TO = "RelatedTo"
+    AT_LOCATION = "AtLocation"
+    USED_FOR = "UsedFor"
+    MADE_OF = "MadeOf"
+    PART_OF = "PartOf"
+    SYNONYM = "Synonym"
+
+    #: Relations that define the semantic tree used for pruning.
+    HIERARCHICAL = (IS_A,)
+
+    #: All lateral (non-hierarchical) relations.
+    LATERAL = (RELATED_TO, AT_LOCATION, USED_FOR, MADE_OF, PART_OF, SYNONYM)
+
+    ALL = HIERARCHICAL + LATERAL
+
+
+class KnowledgeGraph:
+    """An undirected concept graph with a directed ``IsA`` hierarchy on top.
+
+    Nodes are concept names (lower-case strings with underscores, like
+    ConceptNet surface forms).  Lateral edges are stored undirected with a
+    relation type and weight; hierarchical ``IsA`` edges are additionally
+    tracked in a directed parent->child tree so pruning can remove whole
+    subtrees efficiently.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._hierarchy = nx.DiGraph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_concept(self, concept: str, **attrs) -> None:
+        """Add a concept node (idempotent)."""
+        concept = self.normalize(concept)
+        self._graph.add_node(concept, **attrs)
+        self._hierarchy.add_node(concept)
+
+    def add_edge(self, source: str, target: str, relation: str = Relation.RELATED_TO,
+                 weight: float = 1.0) -> None:
+        """Add a typed edge; ``IsA`` edges also register ``source`` as a child of ``target``."""
+        source = self.normalize(source)
+        target = self.normalize(target)
+        if source == target:
+            raise ValueError(f"self-loop on concept {source!r} is not allowed")
+        if relation not in Relation.ALL:
+            raise ValueError(f"unknown relation {relation!r}")
+        if weight <= 0:
+            raise ValueError("edge weight must be positive")
+        self.add_concept(source)
+        self.add_concept(target)
+        self._graph.add_edge(source, target, relation=relation, weight=float(weight))
+        if relation == Relation.IS_A:
+            # "source IsA target" => target is the parent of source.
+            self._hierarchy.add_edge(target, source)
+
+    @staticmethod
+    def normalize(concept: str) -> str:
+        """Normalize a concept name to ConceptNet-like surface form."""
+        if not isinstance(concept, str) or not concept.strip():
+            raise ValueError("concept names must be non-empty strings")
+        return concept.strip().lower().replace(" ", "_").replace("-", "_")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def concepts(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    def __contains__(self, concept: str) -> bool:
+        try:
+            return self.normalize(concept) in self._graph
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def neighbors(self, concept: str,
+                  relations: Optional[Sequence[str]] = None) -> List[Tuple[str, str, float]]:
+        """Return ``(neighbor, relation, weight)`` triples of a concept."""
+        concept = self.normalize(concept)
+        if concept not in self._graph:
+            raise KeyError(f"unknown concept {concept!r}")
+        out = []
+        for neighbor, attrs in self._graph[concept].items():
+            relation = attrs.get("relation", Relation.RELATED_TO)
+            if relations is not None and relation not in relations:
+                continue
+            out.append((neighbor, relation, float(attrs.get("weight", 1.0))))
+        return out
+
+    def neighbor_names(self, concept: str,
+                       relations: Optional[Sequence[str]] = None) -> List[str]:
+        return [name for name, _, _ in self.neighbors(concept, relations=relations)]
+
+    def degree(self, concept: str) -> int:
+        return int(self._graph.degree(self.normalize(concept)))
+
+    def parent(self, concept: str) -> Optional[str]:
+        """Return the ``IsA`` parent of a concept (None for roots)."""
+        concept = self.normalize(concept)
+        predecessors = list(self._hierarchy.predecessors(concept))
+        if not predecessors:
+            return None
+        return predecessors[0]
+
+    def children(self, concept: str) -> List[str]:
+        concept = self.normalize(concept)
+        return list(self._hierarchy.successors(concept))
+
+    def descendants(self, concept: str) -> Set[str]:
+        """All concepts below ``concept`` in the semantic tree (excluding itself)."""
+        concept = self.normalize(concept)
+        if concept not in self._hierarchy:
+            raise KeyError(f"unknown concept {concept!r}")
+        return set(nx.descendants(self._hierarchy, concept))
+
+    def ancestors(self, concept: str) -> List[str]:
+        """Path of ancestors from the immediate parent up to the root."""
+        out = []
+        current = self.parent(concept)
+        while current is not None:
+            out.append(current)
+            current = self.parent(current)
+        return out
+
+    def roots(self) -> List[str]:
+        return [n for n in self._hierarchy.nodes if self._hierarchy.in_degree(n) == 0]
+
+    def shortest_path_length(self, source: str, target: str) -> int:
+        """Unweighted hop distance over all edge types."""
+        return int(nx.shortest_path_length(self._graph, self.normalize(source),
+                                           self.normalize(target)))
+
+    def edges(self) -> Iterator[Tuple[str, str, str, float]]:
+        """Iterate ``(u, v, relation, weight)`` over all edges."""
+        for u, v, attrs in self._graph.edges(data=True):
+            yield u, v, attrs.get("relation", Relation.RELATED_TO), float(attrs.get("weight", 1.0))
+
+    # ------------------------------------------------------------------ #
+    # Mutation (pruning, SCADS extensibility)
+    # ------------------------------------------------------------------ #
+    def remove_concepts(self, concepts: Iterable[str]) -> int:
+        """Remove concepts (and incident edges) from the graph; returns count removed."""
+        removed = 0
+        for concept in list(concepts):
+            concept = self.normalize(concept)
+            if concept in self._graph:
+                self._graph.remove_node(concept)
+                removed += 1
+            if concept in self._hierarchy:
+                self._hierarchy.remove_node(concept)
+        return removed
+
+    def copy(self) -> "KnowledgeGraph":
+        duplicate = KnowledgeGraph()
+        duplicate._graph = self._graph.copy()
+        duplicate._hierarchy = self._hierarchy.copy()
+        return duplicate
+
+    def subgraph(self, concepts: Iterable[str]) -> "KnowledgeGraph":
+        """Graph induced on the given concepts."""
+        keep = {self.normalize(c) for c in concepts}
+        duplicate = KnowledgeGraph()
+        duplicate._graph = self._graph.subgraph(keep).copy()
+        duplicate._hierarchy = self._hierarchy.subgraph(keep).copy()
+        return duplicate
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.Graph:
+        """Return the underlying undirected graph (a copy)."""
+        return self._graph.copy()
+
+    def hierarchy_to_networkx(self) -> nx.DiGraph:
+        return self._hierarchy.copy()

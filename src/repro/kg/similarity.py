@@ -1,0 +1,72 @@
+"""Graph-embedding similarity queries used by SCADS auxiliary-data selection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .embeddings import normalize_rows
+
+__all__ = ["cosine_similarity", "top_k_similar", "EmbeddingIndex"]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 if either is all zeros)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+class EmbeddingIndex:
+    """Dense index over concept embeddings supporting top-k cosine queries."""
+
+    def __init__(self, embeddings: Mapping[str, np.ndarray]):
+        if not embeddings:
+            raise ValueError("cannot build an index over an empty embedding map")
+        self.concepts: List[str] = sorted(embeddings.keys())
+        matrix = np.stack([np.asarray(embeddings[c], dtype=np.float64)
+                           for c in self.concepts])
+        self._normalized = normalize_rows(matrix)
+        self._position = {c: i for i, c in enumerate(self.concepts)}
+
+    def __len__(self) -> int:
+        return len(self.concepts)
+
+    def __contains__(self, concept: str) -> bool:
+        return concept in self._position
+
+    def vector(self, concept: str) -> np.ndarray:
+        return self._normalized[self._position[concept]]
+
+    def top_k(self, query: np.ndarray, k: int,
+              exclude: Optional[Sequence[str]] = None) -> List[Tuple[str, float]]:
+        """Return the ``k`` concepts most cosine-similar to ``query``."""
+        if k <= 0:
+            return []
+        query = np.asarray(query, dtype=np.float64)
+        norm = np.linalg.norm(query)
+        if norm == 0:
+            return []
+        scores = self._normalized @ (query / norm)
+        excluded = set(exclude or ())
+        order = np.argsort(-scores)
+        out: List[Tuple[str, float]] = []
+        for i in order:
+            concept = self.concepts[i]
+            if concept in excluded:
+                continue
+            out.append((concept, float(scores[i])))
+            if len(out) == k:
+                break
+        return out
+
+
+def top_k_similar(embeddings: Mapping[str, np.ndarray], query: np.ndarray, k: int,
+                  exclude: Optional[Sequence[str]] = None) -> List[Tuple[str, float]]:
+    """Convenience wrapper building a throwaway :class:`EmbeddingIndex`."""
+    return EmbeddingIndex(embeddings).top_k(query, k, exclude=exclude)

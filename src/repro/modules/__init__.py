@@ -1,0 +1,25 @@
+"""``repro.modules`` — the training modules that produce taglets.
+
+Four modules, as in the paper: Transfer (sequential fine-tuning on auxiliary
+then target data), Multi-task (joint training), FixMatch (semi-supervised
+consistency training warm-started from auxiliary data), and ZSL-KG
+(zero-shot classification from the knowledge graph).
+"""
+
+from .base import ModelTaglet, ModuleInput, Taglet, TrainingModule
+from .fixmatch import FixMatchConfig, FixMatchModule
+from .multitask import MultiTaskConfig, MultiTaskModule
+from .transfer import TransferConfig, TransferModule
+from .zsl_kg import GraphClassEncoder, ZslKgConfig, ZslKgModule, ZslKgTaglet
+
+__all__ = [
+    "ModuleInput", "Taglet", "ModelTaglet", "TrainingModule",
+    "TransferModule", "TransferConfig",
+    "MultiTaskModule", "MultiTaskConfig",
+    "FixMatchModule", "FixMatchConfig",
+    "ZslKgModule", "ZslKgConfig", "ZslKgTaglet", "GraphClassEncoder",
+    "DEFAULT_MODULES",
+]
+
+#: The default module set of the paper's main experiments.
+DEFAULT_MODULES = ("multitask", "transfer", "fixmatch", "zsl_kg")

@@ -1,0 +1,100 @@
+"""Base abstractions for training modules and taglets (paper Section 3.2).
+
+A *module* is a learning method adapted to exploit SCADS; its output — a
+trained classifier over the target label space — is a *taglet*.  Modules are
+trained independently and their taglets are later ensembled into pseudo
+labels for the distillation stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..backbones.backbone import ClassificationModel, PretrainedBackbone
+from ..datasets.base import ClassSpec
+from ..nn.training import predict_proba
+from ..scads.builder import ScadsBundle
+from ..scads.query import AuxiliarySelection
+
+__all__ = ["ModuleInput", "Taglet", "ModelTaglet", "TrainingModule"]
+
+
+@dataclass
+class ModuleInput:
+    """Everything a training module may consume.
+
+    This corresponds to the spectrum of data of Section 3: the limited
+    labeled target set ``X``, the unlabeled target pool ``U``, the selected
+    auxiliary data ``R`` (plus which concepts it came from), the SCADS bundle
+    for graph queries, and the pretrained backbone the module starts from.
+    """
+
+    classes: List[ClassSpec]
+    labeled_features: np.ndarray
+    labeled_labels: np.ndarray
+    unlabeled_features: np.ndarray
+    auxiliary: AuxiliarySelection
+    backbone: PretrainedBackbone
+    scads: Optional[ScadsBundle] = None
+    seed: int = 0
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def class_names(self) -> List[str]:
+        return [c.name for c in self.classes]
+
+    def validate(self) -> None:
+        if len(self.labeled_features) != len(self.labeled_labels):
+            raise ValueError("labeled features/labels length mismatch")
+        if len(self.labeled_features) == 0:
+            raise ValueError("modules require at least one labeled example")
+        if self.labeled_labels.max() >= self.num_classes:
+            raise ValueError("labeled labels exceed the number of classes")
+
+
+class Taglet:
+    """A trained classifier over the target label space."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return an ``(n, C)`` matrix of class probabilities."""
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        if len(features) == 0:
+            return 0.0
+        return float((self.predict(features) == np.asarray(labels)).mean())
+
+
+class ModelTaglet(Taglet):
+    """A taglet backed by a :class:`ClassificationModel`."""
+
+    def __init__(self, name: str, model: ClassificationModel):
+        super().__init__(name)
+        self.model = model
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return predict_proba(self.model, features)
+
+
+class TrainingModule:
+    """A learning method tailored to exploit SCADS; produces a taglet."""
+
+    name = "module"
+
+    def train(self, data: ModuleInput) -> Taglet:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"

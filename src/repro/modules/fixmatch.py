@@ -1,0 +1,163 @@
+"""The FixMatch module (paper Section 3.2.3).
+
+FixMatch combines pseudo labeling and consistency regularization: a weakly
+augmented view of each unlabeled example produces a pseudo label (when the
+model is confident above a threshold ``tau``), and the model is trained to
+predict that label on a strongly augmented view.  Under very limited labels
+this suffers from confirmation bias, so — as in the paper — the module first
+fine-tunes the backbone on the SCADS-selected auxiliary data ``R`` before
+running FixMatch on the target task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..backbones.backbone import ClassificationModel
+from ..nn import functional as F
+from ..nn.data import ArrayDataset, DataLoader, UnlabeledDataset
+from ..nn.optim import SGD
+from ..nn.schedulers import FixMatchCosineLR
+from ..nn.tensor import Tensor
+from ..nn.training import TrainConfig, iterate_forever, train_classifier
+from ..nn.transforms import strong_augment, weak_augment
+from .base import ModelTaglet, ModuleInput, Taglet, TrainingModule
+
+__all__ = ["FixMatchConfig", "FixMatchModule"]
+
+
+@dataclass
+class FixMatchConfig:
+    """Hyperparameters of auxiliary pretraining + FixMatch training."""
+
+    #: auxiliary fine-tuning phase (5 epochs in the paper)
+    aux_epochs: int = 12
+    aux_lr: float = 0.02
+    aux_batch_size: int = 128
+    #: supervised warm-up of the (fresh) target head before consistency training,
+    #: which limits early confirmation bias when labels are very scarce
+    head_warmup_epochs: int = 20
+    head_warmup_lr: float = 0.01
+    #: FixMatch phase
+    epochs: int = 10
+    batch_size: int = 64
+    unlabeled_batch_size: int = 128
+    lr: float = 0.01
+    momentum: float = 0.9
+    nesterov: bool = True
+    #: confidence threshold tau for accepting a pseudo label
+    confidence_threshold: float = 0.8
+    #: weight of the unlabeled consistency loss
+    unlabeled_loss_weight: float = 1.0
+    use_aux_pretraining: bool = True
+
+
+class FixMatchModule(TrainingModule):
+    """Semi-supervised consistency training, warm-started from auxiliary data."""
+
+    name = "fixmatch"
+
+    def __init__(self, config: Optional[FixMatchConfig] = None):
+        self.config = config or FixMatchConfig()
+
+    def train(self, data: ModuleInput) -> Taglet:
+        data.validate()
+        config = self.config
+        rng = np.random.default_rng(data.seed)
+        auxiliary = data.auxiliary
+
+        # ------------------------------------------------------------------ #
+        # Phase 1: fine-tune the backbone on the selected auxiliary data.
+        # ------------------------------------------------------------------ #
+        if (config.use_aux_pretraining and auxiliary is not None
+                and not auxiliary.is_empty()):
+            model = ClassificationModel.from_backbone(
+                data.backbone, num_classes=auxiliary.num_aux_classes, rng=rng)
+            aux_config = TrainConfig(epochs=config.aux_epochs,
+                                     batch_size=config.aux_batch_size,
+                                     lr=config.aux_lr, momentum=config.momentum,
+                                     augment=weak_augment(), seed=data.seed)
+            train_classifier(model, auxiliary.features, auxiliary.labels, aux_config)
+            model.replace_head(data.num_classes, rng=rng)
+        else:
+            model = ClassificationModel.from_backbone(
+                data.backbone, num_classes=data.num_classes, rng=rng)
+
+        # ------------------------------------------------------------------ #
+        # Phase 2: supervised warm-up of the target head on the labeled shots.
+        # ------------------------------------------------------------------ #
+        if config.head_warmup_epochs > 0:
+            warmup = TrainConfig(epochs=config.head_warmup_epochs,
+                                 batch_size=config.batch_size,
+                                 lr=config.head_warmup_lr, momentum=config.momentum,
+                                 augment=weak_augment(), seed=data.seed)
+            train_classifier(model, data.labeled_features, data.labeled_labels, warmup)
+
+        # ------------------------------------------------------------------ #
+        # Phase 3: FixMatch on labeled + unlabeled target data.
+        # ------------------------------------------------------------------ #
+        weak = weak_augment()
+        strong = strong_augment()
+        labeled_loader = DataLoader(
+            ArrayDataset(data.labeled_features, data.labeled_labels),
+            batch_size=min(config.batch_size, len(data.labeled_features)),
+            shuffle=True, rng=np.random.default_rng(data.seed))
+        has_unlabeled = len(data.unlabeled_features) > 0
+        if has_unlabeled:
+            unlabeled_loader = DataLoader(
+                UnlabeledDataset(data.unlabeled_features),
+                batch_size=min(config.unlabeled_batch_size,
+                               len(data.unlabeled_features)),
+                shuffle=True, rng=np.random.default_rng(data.seed + 1))
+            unlabeled_stream = iterate_forever(unlabeled_loader)
+            steps_per_epoch = max(len(unlabeled_loader), len(labeled_loader), 1)
+        else:
+            unlabeled_stream = None
+            steps_per_epoch = max(len(labeled_loader), 1)
+
+        optimizer = SGD(model.parameters(), lr=config.lr,
+                        momentum=config.momentum, nesterov=config.nesterov)
+        scheduler = FixMatchCosineLR(optimizer,
+                                     total_steps=config.epochs * steps_per_epoch)
+
+        model.train()
+        for _ in range(config.epochs):
+            labeled_stream = iterate_forever(labeled_loader)
+            for _ in range(steps_per_epoch):
+                labeled_x, labeled_y = next(labeled_stream)
+                scheduler.step()
+
+                logits = model(Tensor(weak(labeled_x, rng)))
+                loss = F.cross_entropy(logits, labeled_y)
+
+                if unlabeled_stream is not None:
+                    unlabeled_x = next(unlabeled_stream)
+                    # Pseudo labels come from the weakly augmented view with no
+                    # gradient flow, as in the original algorithm.
+                    model.eval()
+                    weak_logits = model(Tensor(weak(unlabeled_x, rng))).data
+                    model.train()
+                    weak_probs = _softmax(weak_logits)
+                    confidence = weak_probs.max(axis=1)
+                    pseudo_labels = weak_probs.argmax(axis=1)
+                    mask = confidence >= config.confidence_threshold
+                    if mask.any():
+                        strong_logits = model(Tensor(strong(unlabeled_x[mask], rng)))
+                        unlabeled_loss = F.cross_entropy(strong_logits,
+                                                         pseudo_labels[mask])
+                        loss = loss + config.unlabeled_loss_weight * unlabeled_loss
+
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        model.eval()
+        return ModelTaglet(self.name, model)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

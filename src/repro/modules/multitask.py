@@ -1,0 +1,115 @@
+"""The Multi-task module (paper Section 3.2.2).
+
+The module jointly learns the target task on ``X`` and an auxiliary
+classification task on the selected auxiliary data ``R``, sharing the
+encoder and optimizing ``L_joint = L_target + lambda * L_aux`` (Eq. 3–5).
+The auxiliary task regularizes the shared representation, which matters most
+when the target labels are scarce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..backbones.backbone import ClassificationModel
+from ..nn import functional as F
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.modules import Linear
+from ..nn.optim import SGD
+from ..nn.schedulers import MultiStepLR
+from ..nn.tensor import Tensor
+from ..nn.training import TrainConfig, iterate_forever, train_classifier
+from ..nn.transforms import weak_augment
+from .base import ModelTaglet, ModuleInput, Taglet, TrainingModule
+
+__all__ = ["MultiTaskConfig", "MultiTaskModule"]
+
+
+@dataclass
+class MultiTaskConfig:
+    """Hyperparameters of joint training (Appendix A.3, scaled down)."""
+
+    epochs: int = 8
+    batch_size: int = 64
+    lr: float = 0.02
+    momentum: float = 0.9
+    #: weight of the auxiliary loss (lambda in Eq. 3)
+    aux_loss_weight: float = 1.0
+    use_augmentation: bool = True
+    #: LR decay milestones expressed as fractions of total epochs
+    milestone_fractions: tuple = (0.5, 0.75)
+
+
+class MultiTaskModule(TrainingModule):
+    """Jointly learn the target task and a SCADS-derived auxiliary task."""
+
+    name = "multitask"
+
+    def __init__(self, config: Optional[MultiTaskConfig] = None):
+        self.config = config or MultiTaskConfig()
+
+    def train(self, data: ModuleInput) -> Taglet:
+        data.validate()
+        config = self.config
+        rng = np.random.default_rng(data.seed)
+        auxiliary = data.auxiliary
+
+        model = ClassificationModel.from_backbone(data.backbone,
+                                                  num_classes=data.num_classes,
+                                                  rng=rng)
+        if auxiliary is None or auxiliary.is_empty():
+            # Without auxiliary data the module degenerates to fine-tuning.
+            fallback = TrainConfig(epochs=config.epochs * 3, batch_size=config.batch_size,
+                                   lr=config.lr, momentum=config.momentum,
+                                   augment=weak_augment() if config.use_augmentation else None,
+                                   seed=data.seed)
+            train_classifier(model, data.labeled_features, data.labeled_labels, fallback)
+            return ModelTaglet(self.name, model)
+
+        aux_head = Linear(model.encoder.feature_dim, auxiliary.num_aux_classes, rng=rng)
+        augment = weak_augment() if config.use_augmentation else None
+
+        target_loader = DataLoader(
+            ArrayDataset(data.labeled_features, data.labeled_labels),
+            batch_size=min(config.batch_size, len(data.labeled_features)),
+            shuffle=True, rng=np.random.default_rng(data.seed))
+        aux_loader = DataLoader(
+            ArrayDataset(auxiliary.features, auxiliary.labels),
+            batch_size=config.batch_size, shuffle=True,
+            rng=np.random.default_rng(data.seed + 1))
+        aux_stream = iterate_forever(aux_loader)
+
+        parameters = model.parameters() + aux_head.parameters()
+        optimizer = SGD(parameters, lr=config.lr, momentum=config.momentum)
+        steps_per_epoch = max(len(aux_loader), len(target_loader), 1)
+        total_steps = config.epochs * steps_per_epoch
+        milestones = [int(total_steps * f) for f in config.milestone_fractions]
+        scheduler = MultiStepLR(optimizer, milestones=milestones, gamma=0.1)
+
+        model.train()
+        aux_head.train()
+        for _ in range(config.epochs):
+            target_stream = iterate_forever(target_loader)
+            for _ in range(steps_per_epoch):
+                target_x, target_y = next(target_stream)
+                aux_x, aux_y = next(aux_stream)
+                if augment is not None:
+                    target_x = augment(target_x, rng)
+                    aux_x = augment(aux_x, rng)
+                scheduler.step()
+
+                target_logits = model(Tensor(target_x))
+                target_loss = F.cross_entropy(target_logits, target_y)
+                aux_features = model.encoder(Tensor(aux_x))
+                aux_logits = aux_head(aux_features)
+                aux_loss = F.cross_entropy(aux_logits, aux_y)
+                joint_loss = target_loss + config.aux_loss_weight * aux_loss
+
+                optimizer.zero_grad()
+                joint_loss.backward()
+                optimizer.step()
+        model.eval()
+        return ModelTaglet(self.name, model)

@@ -1,0 +1,220 @@
+"""The ZSL-KG module (paper Section 3.2.4).
+
+Zero-shot learning from the knowledge graph: a graph neural network maps a
+concept node (and its neighbourhood) to a class weight vector in the
+backbone's feature space, so predictions for the target classes require no
+labeled target examples at all.
+
+Following the paper's recipe (Appendix A.3), the graph neural network is
+pretrained by regressing, for concepts with available auxiliary images, onto
+the classifier weights of a pretrained classifier — here the feature-space
+prototypes of each concept under the frozen backbone, which are the weights
+of the corresponding prototype classifier (Eq. 9).  At task time the trained
+network produces a weight vector for every target class, those vectors are
+plugged in as the classification head, and the frozen backbone does the rest.
+
+Because the module never sees labeled target data, its accuracy is invariant
+to the number of shots — visible as the flat ZSL-KG line in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backbones.backbone import ClassificationModel, PretrainedBackbone
+from ..kg.graph import KnowledgeGraph
+from ..nn import functional as F
+from ..nn.modules import Linear, Module, ReLU
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from ..nn.training import predict_logits
+from ..scads.builder import ScadsBundle
+from ..scads.query import target_class_vector
+from .base import ModuleInput, Taglet, TrainingModule
+
+__all__ = ["ZslKgConfig", "GraphClassEncoder", "ZslKgModule", "ZslKgTaglet"]
+
+
+@dataclass
+class ZslKgConfig:
+    """Hyperparameters of the graph class encoder and its pretraining."""
+
+    hidden_dim: int = 128
+    pretrain_epochs: int = 800
+    pretrain_lr: float = 1e-2
+    weight_decay: float = 0.0
+    #: number of concepts used for pretraining (sampled from those with images)
+    max_training_concepts: int = 2500
+    #: images per concept used to build prototype regression targets
+    images_per_prototype: int = 10
+    #: softmax temperature of the resulting zero-shot classifier
+    logit_scale: float = 4.0
+    #: held-out fraction of training concepts used for checkpoint selection
+    validation_fraction: float = 0.1
+
+
+class GraphClassEncoder(Module):
+    """A two-layer graph neural network producing class weight vectors.
+
+    Each node is described by its own SCADS embedding concatenated with the
+    mean embedding of its graph neighbourhood (single-hop aggregation); two
+    dense layers map that description to a vector in backbone feature space.
+    """
+
+    def __init__(self, embedding_dim: int, hidden_dim: int, output_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.fc1 = Linear(2 * embedding_dim, hidden_dim, rng=rng)
+        self.activation = ReLU()
+        self.fc2 = Linear(hidden_dim, output_dim, rng=rng)
+        self.embedding_dim = embedding_dim
+        self.output_dim = output_dim
+
+    def forward(self, node_descriptions: Tensor) -> Tensor:
+        return self.fc2(self.activation(self.fc1(node_descriptions)))
+
+
+class ZslKgTaglet(Taglet):
+    """Zero-shot classifier: frozen backbone features scored against class vectors."""
+
+    def __init__(self, name: str, model: ClassificationModel, logit_scale: float):
+        super().__init__(name)
+        self.model = model
+        self.logit_scale = logit_scale
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        logits = predict_logits(self.model, features) * self.logit_scale
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+
+class ZslKgModule(TrainingModule):
+    """Zero-shot taglet driven by the knowledge graph in SCADS."""
+
+    name = "zsl_kg"
+
+    #: cache of pretrained class encoders keyed by (backbone identity, graph identity)
+    _pretrained_cache: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
+
+    def __init__(self, config: Optional[ZslKgConfig] = None):
+        self.config = config or ZslKgConfig()
+
+    # ------------------------------------------------------------------ #
+    # Node descriptions
+    # ------------------------------------------------------------------ #
+    def _node_description(self, bundle: ScadsBundle, concept_or_vector) -> np.ndarray:
+        """Own embedding concatenated with the neighbourhood mean embedding."""
+        embedding = bundle.embedding
+        if isinstance(concept_or_vector, str):
+            own = embedding.get_vector(concept_or_vector)
+            try:
+                neighbors = [embedding.get_vector(n, allow_approximation=False)
+                             for n, _, _ in bundle.scads.graph.neighbors(concept_or_vector)]
+            except KeyError:
+                neighbors = []
+        else:
+            own = np.asarray(concept_or_vector, dtype=np.float64)
+            neighbors = []
+        neighborhood = np.mean(neighbors, axis=0) if neighbors else own
+        return np.concatenate([own, neighborhood])
+
+    # ------------------------------------------------------------------ #
+    # Pretraining on auxiliary concepts (Eq. 9)
+    # ------------------------------------------------------------------ #
+    def _pretrain(self, bundle: ScadsBundle, backbone: PretrainedBackbone,
+                  seed: int) -> Dict[str, np.ndarray]:
+        cache_key = (id(backbone), id(bundle.scads.graph))
+        if cache_key in self._pretrained_cache:
+            return self._pretrained_cache[cache_key]
+
+        config = self.config
+        rng = np.random.default_rng(seed)
+        encoder = backbone.instantiate(rng=rng)
+        encoder.eval()
+
+        concepts = bundle.scads.concepts_with_images()
+        if len(concepts) > config.max_training_concepts:
+            concepts = sorted(rng.choice(concepts, size=config.max_training_concepts,
+                                         replace=False).tolist())
+        descriptions = np.stack([self._node_description(bundle, c) for c in concepts])
+        prototypes = []
+        for concept in concepts:
+            images = bundle.scads.get_images(concept,
+                                             limit=config.images_per_prototype,
+                                             rng=rng)
+            features = encoder(Tensor(images)).data
+            prototype = features.mean(axis=0)
+            norm = np.linalg.norm(prototype)
+            prototypes.append(prototype / norm if norm > 0 else prototype)
+        targets = np.stack(prototypes)
+
+        n_validation = max(1, int(len(concepts) * config.validation_fraction))
+        permutation = rng.permutation(len(concepts))
+        val_idx, train_idx = permutation[:n_validation], permutation[n_validation:]
+
+        class_encoder = GraphClassEncoder(bundle.embedding.dim, config.hidden_dim,
+                                          backbone.feature_dim, rng=rng)
+        optimizer = Adam(class_encoder.parameters(), lr=config.pretrain_lr,
+                         weight_decay=config.weight_decay)
+        best_state = class_encoder.state_dict()
+        best_val = float("inf")
+        train_x = Tensor(descriptions[train_idx])
+        train_y = targets[train_idx]
+        val_x = Tensor(descriptions[val_idx])
+        val_y = targets[val_idx]
+        for _ in range(config.pretrain_epochs):
+            class_encoder.train()
+            predictions = class_encoder(train_x)
+            loss = F.l2_loss(predictions, train_y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            class_encoder.eval()
+            val_loss = F.l2_loss(class_encoder(val_x), val_y).item()
+            if val_loss < best_val:
+                best_val = val_loss
+                best_state = class_encoder.state_dict()
+
+        self._pretrained_cache[cache_key] = best_state
+        return best_state
+
+    # ------------------------------------------------------------------ #
+    # Taglet construction
+    # ------------------------------------------------------------------ #
+    def train(self, data: ModuleInput) -> Taglet:
+        if data.scads is None:
+            raise ValueError("the ZSL-KG module requires a SCADS bundle")
+        config = self.config
+        rng = np.random.default_rng(data.seed)
+        bundle = data.scads
+        state = self._pretrain(bundle, data.backbone, seed=data.seed)
+
+        class_encoder = GraphClassEncoder(bundle.embedding.dim, config.hidden_dim,
+                                          data.backbone.feature_dim, rng=rng)
+        class_encoder.load_state_dict(state)
+        class_encoder.eval()
+
+        descriptions = []
+        for spec in data.classes:
+            concept = spec.concept or spec.name
+            try:
+                description = self._node_description(bundle, concept)
+            except KeyError:
+                vector = target_class_vector(spec, bundle.scads, bundle.embedding)
+                if vector is None:
+                    vector = np.zeros(bundle.embedding.dim)
+                description = self._node_description(bundle, vector)
+            descriptions.append(description)
+        class_vectors = class_encoder(Tensor(np.stack(descriptions))).data
+
+        model = ClassificationModel.from_backbone(data.backbone,
+                                                  num_classes=data.num_classes,
+                                                  rng=rng)
+        model.set_head_weights(class_vectors.T,
+                               bias=np.zeros(data.num_classes))
+        model.eval()
+        return ZslKgTaglet(self.name, model, logit_scale=config.logit_scale)

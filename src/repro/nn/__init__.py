@@ -1,0 +1,44 @@
+"""``repro.nn`` — the NumPy neural-network substrate of the TAGLETS reproduction.
+
+This package stands in for PyTorch in the original system: a reverse-mode
+autograd engine (:mod:`repro.nn.tensor`), layers (:mod:`repro.nn.modules`),
+losses (:mod:`repro.nn.functional`), optimizers and schedulers, a data
+pipeline, augmentations, and shared training loops.
+"""
+
+from . import functional
+from .data import (ArrayDataset, ConcatDataset, DataLoader, Dataset,
+                   SoftLabeledDataset, Subset, UnlabeledDataset,
+                   train_test_indices)
+from .modules import (MLP, BatchNorm1d, Dropout, Identity, Linear, Module,
+                      Parameter, ReLU, Sequential, Tanh)
+from .optim import SGD, Adam, Optimizer
+from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
+                         LRScheduler, MultiStepLR, StepLR, WarmupMultiStepLR)
+from .serialization import (load_into_module, load_state_dict, save_module,
+                            save_state_dict)
+from .tensor import Tensor, concatenate, stack
+from .training import (TrainConfig, build_optimizer, build_scheduler,
+                       evaluate_accuracy, iterate_forever, predict_logits,
+                       predict_proba, train_classifier, train_soft_classifier)
+from .transforms import (Compose, GaussianJitter, IdentityTransform,
+                         RandomFeatureDrop, RandomPermuteBlocks, RandomScale,
+                         Transform, strong_augment, weak_augment)
+
+__all__ = [
+    "Tensor", "stack", "concatenate", "functional",
+    "Module", "Parameter", "Linear", "ReLU", "Tanh", "Identity", "Dropout",
+    "BatchNorm1d", "Sequential", "MLP",
+    "Optimizer", "SGD", "Adam",
+    "LRScheduler", "ConstantLR", "StepLR", "MultiStepLR", "CosineAnnealingLR",
+    "FixMatchCosineLR", "WarmupMultiStepLR",
+    "Dataset", "ArrayDataset", "UnlabeledDataset", "SoftLabeledDataset",
+    "Subset", "ConcatDataset", "DataLoader", "train_test_indices",
+    "Transform", "Compose", "IdentityTransform", "GaussianJitter",
+    "RandomScale", "RandomFeatureDrop", "RandomPermuteBlocks",
+    "weak_augment", "strong_augment",
+    "TrainConfig", "build_optimizer", "build_scheduler", "predict_logits",
+    "predict_proba", "evaluate_accuracy", "train_classifier",
+    "train_soft_classifier", "iterate_forever",
+    "save_state_dict", "load_state_dict", "save_module", "load_into_module",
+]

@@ -1,0 +1,215 @@
+"""Dataset and data-loading utilities.
+
+The TAGLETS pipeline juggles several sources of examples at once: the
+limited labeled target set, the unlabeled target pool, auxiliary examples
+retrieved from SCADS, and pseudo-labeled data for the distillation stage.
+These primitives keep that bookkeeping explicit: labeled datasets yield
+``(x, y)``, unlabeled datasets yield ``x``, and soft-labeled datasets yield
+``(x, p)`` with probability-vector targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "UnlabeledDataset",
+    "SoftLabeledDataset",
+    "Subset",
+    "ConcatDataset",
+    "DataLoader",
+    "train_test_indices",
+]
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Labeled dataset backed by an ``(n, d)`` feature array and integer labels."""
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features and labels disagree on length: {len(features)} vs {len(labels)}")
+        self.features = features
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.features[index], int(self.labels[index])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the full ``(features, labels)`` pair (no copy)."""
+        return self.features, self.labels
+
+    def class_counts(self) -> np.ndarray:
+        if len(self.labels) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.labels)
+
+
+class UnlabeledDataset(Dataset):
+    """Unlabeled dataset over an ``(n, d)`` feature array."""
+
+    def __init__(self, features: np.ndarray):
+        self.features = np.asarray(features, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.features[index]
+
+    def arrays(self) -> np.ndarray:
+        return self.features
+
+
+class SoftLabeledDataset(Dataset):
+    """Dataset of examples paired with probability-vector targets.
+
+    Produced by the taglet ensemble (paper Eq. 6) and consumed by the end
+    model's soft cross-entropy loss (Eq. 7).
+    """
+
+    def __init__(self, features: np.ndarray, soft_labels: np.ndarray):
+        features = np.asarray(features, dtype=np.float64)
+        soft_labels = np.asarray(soft_labels, dtype=np.float64)
+        if len(features) != len(soft_labels):
+            raise ValueError("features and soft_labels disagree on length")
+        if soft_labels.ndim != 2:
+            raise ValueError("soft_labels must be a 2-D probability matrix")
+        self.features = features
+        self.soft_labels = soft_labels
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.features[index], self.soft_labels[index]
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.features, self.soft_labels
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to a list of indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(int(i) for i in indices)
+        n = len(dataset)
+        for i in self.indices:
+            if i < 0 or i >= n:
+                raise IndexError(f"index {i} out of range for dataset of size {n}")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+class ConcatDataset(Dataset):
+    """Concatenation of several datasets with the same item structure."""
+
+    def __init__(self, datasets: Sequence[Dataset]):
+        if not datasets:
+            raise ValueError("ConcatDataset needs at least one dataset")
+        self.datasets = list(datasets)
+        self._sizes = [len(d) for d in self.datasets]
+        self._offsets = np.cumsum([0] + self._sizes)
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += len(self)
+        if index < 0 or index >= len(self):
+            raise IndexError(index)
+        which = int(np.searchsorted(self._offsets, index, side="right") - 1)
+        return self.datasets[which][index - self._offsets[which]]
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling and epoch-stable RNG.
+
+    Batches of labeled data are ``(X, y)`` array pairs; unlabeled data yields
+    a single array; soft-labeled data yields ``(X, P)``.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def _batch_indices(self) -> Iterator[np.ndarray]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            batch = order[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield batch
+
+    def __iter__(self):
+        for batch in self._batch_indices():
+            items = [self.dataset[int(i)] for i in batch]
+            first = items[0]
+            if isinstance(first, tuple):
+                columns = list(zip(*items))
+                yield tuple(np.asarray(col) for col in columns)
+            else:
+                yield np.asarray(items)
+
+
+def train_test_indices(labels: np.ndarray, test_per_class: int,
+                       rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    """Split indices into train/test taking ``test_per_class`` per class.
+
+    Mirrors the protocol of Appendix A.2: the test set is a fixed number of
+    images per class sampled uniformly, and the remainder is the train pool.
+    """
+    labels = np.asarray(labels)
+    train: List[int] = []
+    test: List[int] = []
+    for cls in np.unique(labels):
+        cls_indices = np.flatnonzero(labels == cls)
+        if len(cls_indices) <= test_per_class:
+            raise ValueError(
+                f"class {cls} has only {len(cls_indices)} examples, cannot hold out "
+                f"{test_per_class} for the test set")
+        permuted = rng.permutation(cls_indices)
+        test.extend(permuted[:test_per_class].tolist())
+        train.extend(permuted[test_per_class:].tolist())
+    return np.asarray(sorted(train)), np.asarray(sorted(test))

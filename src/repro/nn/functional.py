@@ -1,0 +1,127 @@
+"""Differentiable functional operations built on :class:`repro.nn.Tensor`.
+
+These are the loss functions and activations used throughout the TAGLETS
+reproduction: the hard cross entropy of the transfer / multi-task modules
+(paper Eq. 1-5), the confidence-thresholded consistency loss of FixMatch,
+and the soft cross entropy used by the distillation stage (paper Eq. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "one_hot",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "soft_cross_entropy",
+    "mse_loss",
+    "l2_loss",
+    "nll_loss",
+    "accuracy",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(len(labels), num_classes)`` one-hot float matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes "
+                         f"{num_classes}: [{labels.min()}, {labels.max()}]")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray,
+             sample_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Negative log-likelihood of integer targets given log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n, c = log_probs.shape
+    target_matrix = one_hot(targets, c)
+    if sample_weights is not None:
+        sample_weights = np.asarray(sample_weights, dtype=np.float64)
+        target_matrix = target_matrix * sample_weights[:, None]
+        denom = float(sample_weights.sum()) or 1.0
+    else:
+        denom = float(n)
+    picked = (log_probs * Tensor(target_matrix)).sum()
+    return -picked * (1.0 / denom)
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, list],
+                  sample_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Cross entropy between ``logits`` and integer class ``targets``.
+
+    Matches the per-example average used in the paper's Eq. 1, 2, 4, 5.
+    """
+    return nll_loss(log_softmax(logits), targets, sample_weights=sample_weights)
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray,
+                       sample_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Soft-target cross entropy (paper Eq. 7, the distillation loss).
+
+    ``target_probs`` is an ``(n, C)`` matrix of probability vectors, e.g. the
+    soft pseudo labels produced by the taglet ensemble.
+    """
+    target_probs = np.asarray(target_probs, dtype=np.float64)
+    if target_probs.shape != logits.shape:
+        raise ValueError("target_probs shape must match logits shape: "
+                         f"{target_probs.shape} vs {logits.shape}")
+    log_probs = log_softmax(logits)
+    if sample_weights is not None:
+        sample_weights = np.asarray(sample_weights, dtype=np.float64)
+        target_probs = target_probs * sample_weights[:, None]
+        denom = float(sample_weights.sum()) or 1.0
+    else:
+        denom = float(logits.shape[0])
+    return -(log_probs * Tensor(target_probs)).sum() * (1.0 / denom)
+
+
+def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error over all elements."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def l2_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared L2 distance between rows (paper Eq. 9, ZSL-KG pretraining)."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = predictions - targets
+    return (diff * diff).sum(axis=-1).mean()
+
+
+def accuracy(logits_or_probs: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of a score matrix against integer targets."""
+    scores = np.asarray(logits_or_probs)
+    targets = np.asarray(targets)
+    if scores.ndim != 2:
+        raise ValueError("expected a 2-D score matrix")
+    if len(targets) == 0:
+        return 0.0
+    predictions = scores.argmax(axis=1)
+    return float((predictions == targets).mean())

@@ -1,0 +1,46 @@
+"""Saving and loading model weights as ``.npz`` archives.
+
+TAGLETS caches pretrained backbones and the distilled end model; this module
+provides the on-disk format for those checkpoints.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_into_module"]
+
+_KEY_SEPARATOR = "::"  # npz keys cannot contain '/' portably across dict round-trips
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (parent directories are created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    safe = {name.replace(".", _KEY_SEPARATOR): value for name, value in state.items()}
+    np.savez(path, **safe)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        return {name.replace(_KEY_SEPARATOR, "."): archive[name]
+                for name in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Persist a module's parameters and buffers."""
+    save_state_dict(module.state_dict(), path)
+
+
+def load_into_module(module: Module, path: str) -> Module:
+    """Load a checkpoint into an already-constructed module (shape-checked)."""
+    module.load_state_dict(load_state_dict(path))
+    return module

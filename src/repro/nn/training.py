@@ -1,0 +1,219 @@
+"""Shared training loops used by modules, baselines, and the end model.
+
+Every learning method in the paper boils down to one of two supervised
+loops: hard-label cross entropy (fine-tuning, the Transfer and Multi-task
+phases, FixMatch's supervised term) or soft-label cross entropy (the
+distillation stage).  Centralizing them keeps the module implementations
+focused on *what* data they train on, which is the paper's actual
+contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .data import ArrayDataset, DataLoader, SoftLabeledDataset
+from .modules import Module
+from .optim import SGD, Adam, Optimizer
+from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
+                         LRScheduler, MultiStepLR, WarmupMultiStepLR)
+from .tensor import Tensor
+from .transforms import Transform
+
+__all__ = [
+    "TrainConfig",
+    "build_optimizer",
+    "build_scheduler",
+    "predict_logits",
+    "predict_proba",
+    "evaluate_accuracy",
+    "train_classifier",
+    "train_soft_classifier",
+    "iterate_forever",
+]
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of a supervised training run.
+
+    The defaults follow the ResNet-50 recipes of Appendix A.3, scaled down to
+    the synthetic workload (fewer epochs, smaller batches).
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 0.01
+    momentum: float = 0.9
+    nesterov: bool = False
+    weight_decay: float = 0.0
+    optimizer: str = "sgd"              # "sgd" or "adam"
+    scheduler: str = "constant"          # constant | multistep | warmup | cosine | fixmatch
+    #: epoch indices at which the LR decays (converted to steps internally)
+    milestones: Tuple[int, ...] = ()
+    warmup_steps: int = 0
+    gamma: float = 0.1
+    augment: Optional[Transform] = None
+    seed: int = 0
+    shuffle: bool = True
+
+    def with_updates(self, **overrides) -> "TrainConfig":
+        """Return a copy with selected fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+def build_optimizer(model: Module, config: TrainConfig) -> Optimizer:
+    params = model.parameters()
+    if config.optimizer == "sgd":
+        return SGD(params, lr=config.lr, momentum=config.momentum,
+                   nesterov=config.nesterov, weight_decay=config.weight_decay)
+    if config.optimizer == "adam":
+        return Adam(params, lr=config.lr, weight_decay=config.weight_decay)
+    raise ValueError(f"unknown optimizer {config.optimizer!r}")
+
+
+def build_scheduler(optimizer: Optimizer, config: TrainConfig,
+                    total_steps: int, steps_per_epoch: int = 1) -> LRScheduler:
+    """Build the LR scheduler; epoch-based milestones are converted to steps."""
+    steps_per_epoch = max(steps_per_epoch, 1)
+    milestone_steps = [m * steps_per_epoch for m in config.milestones]
+    if config.scheduler == "constant":
+        return ConstantLR(optimizer)
+    if config.scheduler == "multistep":
+        return MultiStepLR(optimizer, milestones=milestone_steps,
+                           gamma=config.gamma)
+    if config.scheduler == "warmup":
+        return WarmupMultiStepLR(optimizer, warmup_steps=config.warmup_steps,
+                                 milestones=milestone_steps,
+                                 gamma=config.gamma)
+    if config.scheduler == "cosine":
+        return CosineAnnealingLR(optimizer, total_steps=max(total_steps, 1))
+    if config.scheduler == "fixmatch":
+        return FixMatchCosineLR(optimizer, total_steps=max(total_steps, 1))
+    raise ValueError(f"unknown scheduler {config.scheduler!r}")
+
+
+def predict_logits(model: Module, features: np.ndarray,
+                   batch_size: int = 256) -> np.ndarray:
+    """Run the model in eval mode and return the raw logits."""
+    features = np.asarray(features, dtype=np.float64)
+    model.eval()
+    chunks: List[np.ndarray] = []
+    for start in range(0, len(features), batch_size):
+        batch = features[start:start + batch_size]
+        logits = model(Tensor(batch))
+        chunks.append(logits.data)
+    if not chunks:
+        return np.zeros((0, 0))
+    return np.concatenate(chunks, axis=0)
+
+
+def predict_proba(model: Module, features: np.ndarray,
+                  batch_size: int = 256) -> np.ndarray:
+    """Softmax probabilities of the model on ``features``."""
+    logits = predict_logits(model, features, batch_size=batch_size)
+    if logits.size == 0:
+        return logits
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def evaluate_accuracy(model: Module, features: np.ndarray,
+                      labels: np.ndarray) -> float:
+    """Top-1 accuracy of the model on a labeled array pair."""
+    logits = predict_logits(model, features)
+    return F.accuracy(logits, labels)
+
+
+def _epoch_loader(features: np.ndarray, labels: np.ndarray, config: TrainConfig,
+                  rng: np.random.Generator, soft: bool) -> DataLoader:
+    dataset = (SoftLabeledDataset(features, labels) if soft
+               else ArrayDataset(features, labels))
+    return DataLoader(dataset, batch_size=config.batch_size,
+                      shuffle=config.shuffle, rng=rng)
+
+
+def train_classifier(model: Module, features: np.ndarray, labels: np.ndarray,
+                     config: TrainConfig,
+                     callback: Optional[Callable[[int, float], None]] = None) -> Module:
+    """Train ``model`` with hard-label cross entropy (paper Eq. 1/2/4/5).
+
+    ``callback(epoch, mean_loss)`` is invoked after each epoch, which the
+    experiment runner uses for logging.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(features) == 0:
+        raise ValueError("cannot train on an empty dataset")
+    rng = np.random.default_rng(config.seed)
+    loader = _epoch_loader(features, labels, config, rng, soft=False)
+    optimizer = build_optimizer(model, config)
+    total_steps = config.epochs * max(len(loader), 1)
+    scheduler = build_scheduler(optimizer, config, total_steps,
+                                steps_per_epoch=len(loader))
+
+    model.train()
+    for epoch in range(config.epochs):
+        losses: List[float] = []
+        for batch_x, batch_y in loader:
+            if config.augment is not None:
+                batch_x = config.augment(batch_x, rng)
+            scheduler.step()
+            logits = model(Tensor(batch_x))
+            loss = F.cross_entropy(logits, batch_y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        if callback is not None:
+            callback(epoch, float(np.mean(losses)) if losses else float("nan"))
+    model.eval()
+    return model
+
+
+def train_soft_classifier(model: Module, features: np.ndarray,
+                          soft_labels: np.ndarray, config: TrainConfig,
+                          callback: Optional[Callable[[int, float], None]] = None) -> Module:
+    """Train ``model`` with soft-target cross entropy (paper Eq. 7)."""
+    features = np.asarray(features, dtype=np.float64)
+    soft_labels = np.asarray(soft_labels, dtype=np.float64)
+    if len(features) == 0:
+        raise ValueError("cannot train on an empty dataset")
+    rng = np.random.default_rng(config.seed)
+    loader = _epoch_loader(features, soft_labels, config, rng, soft=True)
+    optimizer = build_optimizer(model, config)
+    total_steps = config.epochs * max(len(loader), 1)
+    scheduler = build_scheduler(optimizer, config, total_steps,
+                                steps_per_epoch=len(loader))
+
+    model.train()
+    for epoch in range(config.epochs):
+        losses: List[float] = []
+        for batch_x, batch_p in loader:
+            if config.augment is not None:
+                batch_x = config.augment(batch_x, rng)
+            scheduler.step()
+            logits = model(Tensor(batch_x))
+            loss = F.soft_cross_entropy(logits, batch_p)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        if callback is not None:
+            callback(epoch, float(np.mean(losses)) if losses else float("nan"))
+    model.eval()
+    return model
+
+
+def iterate_forever(loader: DataLoader) -> Iterator:
+    """Cycle a loader indefinitely (used by step-based recipes like FixMatch)."""
+    while True:
+        for batch in loader:
+            yield batch

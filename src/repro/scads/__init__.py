@@ -1,0 +1,19 @@
+"""``repro.scads`` — the Structured Collection of Annotated Datasets.
+
+Implements the paper's Section 3.1: installing auxiliary datasets onto the
+knowledge graph, SCADS embeddings (retrofitted vectors with OOV
+approximation), graph-based auxiliary-data selection, pruning, and the
+extensibility hooks for out-of-vocabulary target classes.
+"""
+
+from .builder import (ScadsBundle, align_target_classes, build_scads,
+                      install_imagenet21k)
+from .embedding import ScadsEmbedding
+from .query import AuxiliarySelection, select_auxiliary_data, target_class_vector
+from .scads import Scads
+
+__all__ = [
+    "Scads", "ScadsEmbedding", "ScadsBundle",
+    "AuxiliarySelection", "select_auxiliary_data", "target_class_vector",
+    "build_scads", "install_imagenet21k", "align_target_classes",
+]

@@ -1,0 +1,17 @@
+"""``repro.synth`` — the synthetic visual world standing in for real image data.
+
+Concept prototypes are diffused down the knowledge-graph hierarchy so that
+semantic relatedness implies visual relatedness, which is the property SCADS
+auxiliary-data selection exploits.  Domain shifts reproduce the visual
+domains of the paper's tasks (natural, product, clipart, smartphone).
+"""
+
+from .domains import (DOMAIN_NAMES, ClipartDomain, DomainShift, NaturalDomain,
+                      ProductDomain, SmartphoneDomain, build_domain)
+from .world import VisualWorld, WorldSpec
+
+__all__ = [
+    "VisualWorld", "WorldSpec",
+    "DomainShift", "NaturalDomain", "ProductDomain", "ClipartDomain",
+    "SmartphoneDomain", "build_domain", "DOMAIN_NAMES",
+]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Integration-style tests need a knowledge graph, a visual world, SCADS, and
+pretrained backbones.  Building those at full benchmark size for every test
+would dominate the suite's runtime, so the fixtures here construct a reduced
+— but otherwise identical — workspace once per session and reuse it
+everywhere.  Keeping the reduced workspace structurally identical to the
+benchmark workspace (same generator, same world, same backbone recipe, just a
+smaller filler haystack) means behaviours verified here transfer to the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import GraphSpec
+from repro.synth import WorldSpec
+from repro.workspace import Workspace, WorkspaceSpec
+
+
+TEST_GRAPH_SPEC = GraphSpec(num_filler_concepts=300, seed=0)
+TEST_WORLD_SPEC = WorldSpec(seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_workspace() -> Workspace:
+    """A reduced but structurally faithful workspace (small filler haystack)."""
+    spec = WorkspaceSpec(graph=TEST_GRAPH_SPEC, world=TEST_WORLD_SPEC,
+                         scads_images_per_concept=30, seed=0)
+    return Workspace(spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_backbone(tiny_workspace):
+    """The ResNet-50 analog pretrained on the reduced workspace."""
+    return tiny_workspace.backbone("resnet50")
+
+
+@pytest.fixture(scope="session")
+def fmd_split(tiny_workspace):
+    """A 5-shot FMD split on the reduced workspace."""
+    return tiny_workspace.make_task_split("fmd", shots=5, split_seed=0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

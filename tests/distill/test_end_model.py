@@ -1,0 +1,74 @@
+"""Tests for the distillation stage / end model."""
+
+import numpy as np
+import pytest
+
+from repro.distill import EndModel, EndModelConfig, train_end_model
+from repro.nn import functional as F
+
+
+FAST_CONFIG = EndModelConfig(epochs=8, lr=5e-3)
+
+
+@pytest.fixture(scope="module")
+def distillation_setup(tiny_workspace, tiny_backbone):
+    split = tiny_workspace.make_task_split("fmd", shots=20, split_seed=0)
+    # Build "good" pseudo labels from the (hidden) true labels of the unlabeled
+    # pool by re-deriving them from the dataset; here we simulate an accurate
+    # ensemble by smoothing one-hot targets of a nearest-prototype labeling.
+    rng = np.random.default_rng(0)
+    unlabeled = split.unlabeled_features[:150]
+    # Cheap surrogate pseudo-labels: nearest labeled shot in input space.
+    distances = np.linalg.norm(unlabeled[:, None, :] - split.labeled_features[None],
+                               axis=2)
+    nearest = split.labeled_labels[distances.argmin(axis=1)]
+    pseudo = F.one_hot(nearest, split.num_classes) * 0.9 + 0.1 / split.num_classes
+    return split, unlabeled, pseudo
+
+
+class TestEndModel:
+    def test_training_produces_servable_model(self, distillation_setup, tiny_backbone):
+        split, unlabeled, pseudo = distillation_setup
+        end_model = train_end_model(tiny_backbone, split.labeled_features,
+                                    split.labeled_labels, unlabeled, pseudo,
+                                    split.num_classes, FAST_CONFIG, seed=0)
+        assert isinstance(end_model, EndModel)
+        accuracy = end_model.accuracy(split.test_features, split.test_labels)
+        assert accuracy > 1.0 / split.num_classes
+        assert end_model.num_parameters() > 0
+
+    def test_probabilities_valid(self, distillation_setup, tiny_backbone):
+        split, unlabeled, pseudo = distillation_setup
+        end_model = train_end_model(tiny_backbone, split.labeled_features,
+                                    split.labeled_labels, unlabeled, pseudo,
+                                    split.num_classes, FAST_CONFIG, seed=0)
+        probs = end_model.predict_proba(split.test_features[:9])
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(9))
+
+    def test_works_without_pseudo_labels(self, distillation_setup, tiny_backbone):
+        split, _, _ = distillation_setup
+        end_model = train_end_model(tiny_backbone, split.labeled_features,
+                                    split.labeled_labels,
+                                    np.zeros((0, split.labeled_features.shape[1])),
+                                    np.zeros((0, split.num_classes)),
+                                    split.num_classes, FAST_CONFIG, seed=0)
+        assert end_model.accuracy(split.test_features, split.test_labels) > 0
+
+    def test_hard_label_ablation(self, distillation_setup, tiny_backbone):
+        split, unlabeled, pseudo = distillation_setup
+        config = EndModelConfig(epochs=8, lr=5e-3, harden_pseudo_labels=True)
+        end_model = train_end_model(tiny_backbone, split.labeled_features,
+                                    split.labeled_labels, unlabeled, pseudo,
+                                    split.num_classes, config, seed=0)
+        assert end_model.accuracy(split.test_features, split.test_labels) > \
+            1.0 / split.num_classes
+
+    def test_validation_errors(self, distillation_setup, tiny_backbone):
+        split, unlabeled, pseudo = distillation_setup
+        with pytest.raises(ValueError):
+            train_end_model(tiny_backbone, np.zeros((0, 16)), np.zeros(0),
+                            unlabeled, pseudo, split.num_classes, FAST_CONFIG)
+        with pytest.raises(ValueError):
+            train_end_model(tiny_backbone, split.labeled_features,
+                            split.labeled_labels, unlabeled, pseudo[:3],
+                            split.num_classes, FAST_CONFIG)

@@ -1,0 +1,102 @@
+"""Tests for taglet ensembling (paper Eq. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ensemble import TagletEnsemble, ensemble_probabilities, vote_matrix
+from repro.modules.base import Taglet
+
+
+class ConstantTaglet(Taglet):
+    """A taglet that always returns the same probability matrix."""
+
+    def __init__(self, name, probabilities):
+        super().__init__(name)
+        self._probabilities = np.asarray(probabilities, dtype=np.float64)
+
+    def predict_proba(self, features):
+        return np.tile(self._probabilities, (len(features), 1))
+
+
+class TestVoteMatrix:
+    def test_shape(self):
+        votes = vote_matrix([np.full((4, 3), 1 / 3), np.full((4, 3), 1 / 3)])
+        assert votes.shape == (2, 4, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vote_matrix([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            vote_matrix([np.zeros((2, 3)), np.zeros((2, 4))])
+        with pytest.raises(ValueError):
+            vote_matrix([np.zeros(3)])
+
+
+class TestEnsembleProbabilities:
+    def test_average_of_members(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(ensemble_probabilities([a, b]), [[0.5, 0.5]])
+
+    def test_single_member_identity(self):
+        probs = np.array([[0.2, 0.8], [0.6, 0.4]])
+        np.testing.assert_allclose(ensemble_probabilities([probs]), probs)
+
+    def test_rows_renormalized(self):
+        # Degenerate all-zero rows must not produce NaNs.
+        out = ensemble_probabilities([np.zeros((2, 3))])
+        assert np.isfinite(out).all()
+
+
+class TestTagletEnsemble:
+    def test_majority_of_confident_members_wins(self):
+        good = ConstantTaglet("good", [0.9, 0.1])
+        also_good = ConstantTaglet("good2", [0.8, 0.2])
+        bad = ConstantTaglet("bad", [0.4, 0.6])
+        ensemble = TagletEnsemble([good, also_good, bad])
+        features = np.zeros((5, 2))
+        assert (ensemble.predict(features) == 0).all()
+
+    def test_member_accuracies_and_names(self):
+        right = ConstantTaglet("right", [1.0, 0.0])
+        wrong = ConstantTaglet("wrong", [0.0, 1.0])
+        ensemble = TagletEnsemble([right, wrong])
+        features, labels = np.zeros((4, 2)), np.zeros(4, dtype=int)
+        accuracies = ensemble.member_accuracies(features, labels)
+        assert accuracies == {"right": 1.0, "wrong": 0.0}
+        assert ensemble.names == ["right", "wrong"]
+        member = ensemble.member_probabilities(features)
+        assert set(member) == {"right", "wrong"}
+
+    def test_accuracy_empty_features(self):
+        ensemble = TagletEnsemble([ConstantTaglet("a", [0.5, 0.5])])
+        assert ensemble.accuracy(np.zeros((0, 2)), np.zeros(0)) == 0.0
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            TagletEnsemble([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.float64, (3, 5, 4), elements=st.floats(0.01, 1.0)))
+def test_property_pseudo_labels_are_distributions(raw_votes):
+    # Normalize each member's rows so the inputs are valid probability vectors.
+    votes = raw_votes / raw_votes.sum(axis=2, keepdims=True)
+    pseudo = ensemble_probabilities(list(votes))
+    assert pseudo.shape == (5, 4)
+    assert (pseudo >= 0).all()
+    np.testing.assert_allclose(pseudo.sum(axis=1), np.ones(5), atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.float64, (2, 4, 3), elements=st.floats(0.01, 1.0)))
+def test_property_ensemble_is_permutation_invariant(raw_votes):
+    votes = raw_votes / raw_votes.sum(axis=2, keepdims=True)
+    forward = ensemble_probabilities([votes[0], votes[1]])
+    reverse = ensemble_probabilities([votes[1], votes[0]])
+    np.testing.assert_allclose(forward, reverse)

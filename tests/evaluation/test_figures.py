@@ -1,0 +1,75 @@
+"""Tests for the figure-series computations."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (ensemble_improvement_series, module_accuracy_series,
+                              module_removal_deltas)
+from repro.evaluation.runner import ExperimentResult
+
+
+def taglets_record(method, shots, modules, ensemble, end_model, dataset="fmd",
+                   backbone="resnet50", seed=0):
+    extras = {f"module_{name}": value for name, value in modules.items()}
+    extras["ensemble"] = ensemble
+    extras["end_model"] = end_model
+    return ExperimentResult(method=method, dataset=dataset, shots=shots,
+                            split_seed=0, backbone=backbone, seed=seed,
+                            accuracy=end_model, extras=extras)
+
+
+@pytest.fixture()
+def records():
+    modules_full = {"multitask": 0.6, "transfer": 0.7, "fixmatch": 0.5, "zsl_kg": 0.3}
+    modules_pruned = {"multitask": 0.5, "transfer": 0.55, "fixmatch": 0.45,
+                      "zsl_kg": 0.3}
+    return [
+        taglets_record("taglets", 1, modules_full, ensemble=0.75, end_model=0.72),
+        taglets_record("taglets", 5, modules_full, ensemble=0.85, end_model=0.86),
+        taglets_record("taglets_prune0", 1, modules_pruned, ensemble=0.62,
+                       end_model=0.60),
+    ]
+
+
+class TestModuleAccuracySeries:
+    def test_series_structure(self, records):
+        series = module_accuracy_series(records, dataset="fmd")
+        assert series["transfer"][(1, "no_pruning")].mean == pytest.approx(0.7)
+        assert series["multitask"][(1, "prune_level_0")].mean == pytest.approx(0.5)
+        assert (5, "no_pruning") in series["fixmatch"]
+
+    def test_filters_other_datasets(self, records):
+        series = module_accuracy_series(records, dataset="grocery_store")
+        assert all(not cells for cells in series.values())
+
+
+class TestEnsembleImprovementSeries:
+    def test_gains_computed_against_average_module(self, records):
+        gains = ensemble_improvement_series(records, dataset="fmd")
+        cell = gains[(1, "no_pruning")]
+        average = np.mean([0.6, 0.7, 0.5, 0.3])
+        assert cell["ensemble_gain"].mean == pytest.approx(0.75 - average)
+        assert cell["end_model_gain"].mean == pytest.approx(0.72 - average)
+
+    def test_pruned_cells_present(self, records):
+        gains = ensemble_improvement_series(records, dataset="fmd")
+        assert (1, "prune_level_0") in gains
+
+
+class TestModuleRemovalDeltas:
+    def test_deltas_matched_on_grid_key(self, records):
+        full = records[:2]
+        ablated = {
+            "transfer": [taglets_record("taglets_no_transfer", 1,
+                                        {"multitask": 0.6}, 0.7, 0.65)],
+            "zsl_kg": [taglets_record("taglets_no_zsl", 5, {"multitask": 0.6},
+                                      0.8, 0.88)],
+        }
+        deltas = module_removal_deltas(full, ablated)
+        assert deltas["transfer"].mean == pytest.approx(0.65 - 0.72)
+        assert deltas["zsl_kg"].mean == pytest.approx(0.88 - 0.86)
+
+    def test_unmatched_records_ignored(self, records):
+        deltas = module_removal_deltas(records[:1], {
+            "transfer": [taglets_record("x", 20, {"multitask": 0.5}, 0.6, 0.6)]})
+        assert deltas == {}

@@ -1,0 +1,60 @@
+"""Tests for metrics and confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (Aggregate, confusion_matrix,
+                              mean_confidence_interval, top1_accuracy)
+
+
+class TestAccuracy:
+    def test_top1(self):
+        assert top1_accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+        assert top1_accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(3), np.zeros(4))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), 3)
+        assert matrix[0, 0] == 1 and matrix[2, 1] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+
+class TestConfidenceInterval:
+    def test_single_value(self):
+        aggregate = mean_confidence_interval([0.7])
+        assert aggregate.mean == pytest.approx(0.7)
+        assert aggregate.half_width == 0.0
+        assert aggregate.count == 1
+
+    def test_known_interval(self):
+        values = [0.5, 0.6, 0.7]
+        aggregate = mean_confidence_interval(values)
+        assert aggregate.mean == pytest.approx(0.6)
+        # t(0.975, df=2) = 4.3027, sem = 0.1/sqrt(3)
+        assert aggregate.half_width == pytest.approx(4.3027 * 0.1 / np.sqrt(3), rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_overlap_and_str(self):
+        a = Aggregate(0.5, 0.1, 3)
+        b = Aggregate(0.65, 0.1, 3)
+        c = Aggregate(0.9, 0.05, 3)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert "±" in str(a)
+        assert a.as_tuple() == (0.5, 0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(0, 1), min_size=2, max_size=10))
+def test_property_interval_contains_mean_and_is_nonnegative(values):
+    aggregate = mean_confidence_interval(values)
+    assert aggregate.half_width >= 0
+    assert min(values) - 1e-9 <= aggregate.mean <= max(values) + 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the experiment runner and record aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (METHOD_REGISTRY, ExperimentResult, ExperimentRunner,
+                              MethodSpec, aggregate_records, baseline_method,
+                              taglets_method)
+
+
+def fake_record(method="m", dataset="d", shots=1, split_seed=0, backbone="b",
+                seed=0, accuracy=0.5, extras=None):
+    return ExperimentResult(method=method, dataset=dataset, shots=shots,
+                            split_seed=split_seed, backbone=backbone, seed=seed,
+                            accuracy=accuracy, extras=extras or {})
+
+
+class TestRecords:
+    def test_as_dict_includes_extras(self):
+        record = fake_record(extras={"ensemble": 0.6})
+        data = record.as_dict()
+        assert data["accuracy"] == 0.5
+        assert data["extra_ensemble"] == 0.6
+
+    def test_aggregate_records_groups_and_averages(self):
+        records = [fake_record(seed=0, accuracy=0.4), fake_record(seed=1, accuracy=0.6),
+                   fake_record(method="other", accuracy=0.9)]
+        aggregates = aggregate_records(records, group_by=("method",))
+        assert aggregates[("m",)].mean == pytest.approx(0.5)
+        assert aggregates[("other",)].mean == pytest.approx(0.9)
+
+    def test_aggregate_records_on_extra_metric(self):
+        records = [fake_record(extras={"ensemble": 0.7}),
+                   fake_record(seed=1, extras={"ensemble": 0.9})]
+        aggregates = aggregate_records(records, group_by=("method",),
+                                       value="extra_ensemble")
+        assert aggregates[("m",)].mean == pytest.approx(0.8)
+
+
+class TestRegistry:
+    def test_registry_contains_paper_methods(self):
+        expected = {"finetune", "finetune_distilled", "fixmatch",
+                    "meta_pseudo_labels", "simclrv2", "taglets",
+                    "taglets_prune0", "taglets_prune1"}
+        assert expected <= set(METHOD_REGISTRY)
+
+    def test_taglets_method_factory_names(self):
+        spec = taglets_method("taglets_no_transfer",
+                              modules=("multitask", "fixmatch", "zsl_kg"))
+        assert isinstance(spec, MethodSpec)
+        assert spec.name == "taglets_no_transfer"
+
+    def test_baseline_method_unknown_name_fails_at_run_time(self, tiny_workspace,
+                                                            fmd_split):
+        spec = baseline_method("not_a_baseline")
+        with pytest.raises(KeyError):
+            spec.run(tiny_workspace, fmd_split, "resnet50", 0)
+
+
+class TestRunner:
+    def test_unknown_method_rejected(self, tiny_workspace):
+        runner = ExperimentRunner(tiny_workspace)
+        with pytest.raises(KeyError):
+            runner.evaluate("nonexistent", "fmd", 1, 0, "resnet50", 0)
+
+    def test_register_and_run_custom_method(self, tiny_workspace, tiny_backbone):
+        """Run a tiny custom method through the full runner plumbing."""
+
+        def run(workspace, split, backbone_name, seed):
+            # A trivial majority-class 'method' — fast and deterministic.
+            majority = np.bincount(split.labeled_labels).argmax()
+            accuracy = float((split.test_labels == majority).mean())
+            return ExperimentResult(method="majority", dataset=split.dataset_name,
+                                    shots=split.shots, split_seed=split.split_seed,
+                                    backbone=backbone_name, seed=seed,
+                                    accuracy=accuracy)
+
+        runner = ExperimentRunner(tiny_workspace, registry={})
+        runner.register(MethodSpec(name="majority", run=run))
+        records = runner.run_grid(methods=["majority"], datasets=["fmd"],
+                                  shots_list=[1, 5], backbones=["unused"],
+                                  split_seeds=[0], seeds=[0, 1])
+        assert len(records) == 4
+        assert {r.shots for r in records} == {1, 5}
+        progress_calls = []
+        runner.run_grid(methods=["majority"], datasets=["fmd"], shots_list=[1],
+                        backbones=["unused"], progress=progress_calls.append)
+        assert len(progress_calls) == 1

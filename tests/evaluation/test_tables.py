@@ -1,0 +1,56 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.evaluation import format_results_table, format_series, results_matrix
+from repro.evaluation.metrics import Aggregate
+from repro.evaluation.runner import ExperimentResult
+
+
+def record(method, shots, accuracy, backbone="resnet50", dataset="fmd", seed=0):
+    return ExperimentResult(method=method, dataset=dataset, shots=shots,
+                            split_seed=0, backbone=backbone, seed=seed,
+                            accuracy=accuracy)
+
+
+@pytest.fixture()
+def records():
+    out = []
+    for seed, offset in enumerate([0.0, 0.02, -0.02]):
+        out.append(record("finetune", 1, 0.30 + offset, seed=seed))
+        out.append(record("finetune", 5, 0.60 + offset, seed=seed))
+        out.append(record("taglets", 1, 0.50 + offset, seed=seed))
+        out.append(record("taglets", 5, 0.80 + offset, seed=seed))
+    return out
+
+
+class TestResultsMatrix:
+    def test_aggregation(self, records):
+        matrix = results_matrix(records, dataset="fmd", backbone="resnet50",
+                                shots_list=[1, 5], methods=["finetune", "taglets"])
+        assert matrix["taglets"][5].mean == pytest.approx(0.80)
+        assert matrix["finetune"][1].count == 3
+
+    def test_missing_combinations_skipped(self, records):
+        matrix = results_matrix(records, dataset="fmd", backbone="bit",
+                                shots_list=[1], methods=["finetune"])
+        assert matrix == {}
+
+
+class TestFormatting:
+    def test_format_results_table_contains_rows_and_values(self, records):
+        text = format_results_table(records, dataset="fmd", shots_list=[1, 5],
+                                    methods=["finetune", "taglets"],
+                                    backbones=["resnet50"], title="FMD")
+        assert "TAGLETS" in text
+        assert "Fine-tuning" in text
+        assert "80.00" in text  # taglets 5-shot as a percentage
+        assert "1-shot" in text and "5-shot" in text
+
+    def test_format_series(self):
+        series = {"transfer": {1: Aggregate(0.5, 0.05, 3), 5: 0.7},
+                  "zsl_kg": {1: Aggregate(0.3, 0.01, 3)}}
+        text = format_series(series, title="Module accuracy")
+        assert "Module accuracy" in text
+        assert "transfer" in text and "zsl_kg" in text
+        assert "50.00" in text

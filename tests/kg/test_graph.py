@@ -1,0 +1,112 @@
+"""Tests for the knowledge-graph data structure."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph, Relation
+
+
+@pytest.fixture()
+def small_graph():
+    graph = KnowledgeGraph()
+    graph.add_edge("material", "entity", relation=Relation.IS_A)
+    graph.add_edge("plastic", "material", relation=Relation.IS_A)
+    graph.add_edge("cling_film", "plastic", relation=Relation.IS_A)
+    graph.add_edge("plastic_bag", "plastic", relation=Relation.IS_A)
+    graph.add_edge("stone", "material", relation=Relation.IS_A)
+    graph.add_edge("plastic", "recycling_bin", relation=Relation.RELATED_TO,
+                   weight=2.0)
+    return graph
+
+
+class TestConstruction:
+    def test_normalization(self):
+        assert KnowledgeGraph.normalize("Cling Film") == "cling_film"
+        assert KnowledgeGraph.normalize("  desk-lamp ") == "desk_lamp"
+        with pytest.raises(ValueError):
+            KnowledgeGraph.normalize("  ")
+
+    def test_add_concept_idempotent(self):
+        graph = KnowledgeGraph()
+        graph.add_concept("apple")
+        graph.add_concept("Apple")
+        assert len(graph) == 1
+
+    def test_self_loop_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "a")
+
+    def test_unknown_relation_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "b", relation="Likes")
+
+    def test_nonpositive_weight_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "b", weight=0.0)
+
+
+class TestQueries:
+    def test_contains_and_len(self, small_graph):
+        assert "plastic" in small_graph
+        assert "Cling Film" in small_graph
+        assert "unknown" not in small_graph
+        assert len(small_graph) == 7
+
+    def test_neighbors_with_relation_filter(self, small_graph):
+        lateral = small_graph.neighbors("plastic", relations=Relation.LATERAL)
+        assert [n for n, _, _ in lateral] == ["recycling_bin"]
+        all_neighbors = small_graph.neighbor_names("plastic")
+        assert set(all_neighbors) == {"material", "cling_film", "plastic_bag",
+                                      "recycling_bin"}
+
+    def test_neighbors_unknown_concept(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.neighbors("nonexistent")
+
+    def test_hierarchy_queries(self, small_graph):
+        assert small_graph.parent("plastic") == "material"
+        assert small_graph.parent("entity") is None
+        assert set(small_graph.children("plastic")) == {"cling_film", "plastic_bag"}
+        assert small_graph.descendants("material") == {
+            "plastic", "stone", "cling_film", "plastic_bag"}
+        assert small_graph.ancestors("cling_film") == ["plastic", "material", "entity"]
+        assert small_graph.roots() == ["entity"] or "entity" in small_graph.roots()
+
+    def test_shortest_path(self, small_graph):
+        assert small_graph.shortest_path_length("cling_film", "stone") == 3
+
+    def test_edges_iterator(self, small_graph):
+        edges = list(small_graph.edges())
+        assert len(edges) == small_graph.num_edges()
+        assert all(len(edge) == 4 for edge in edges)
+
+    def test_degree(self, small_graph):
+        assert small_graph.degree("plastic") == 4
+
+
+class TestMutation:
+    def test_remove_concepts(self, small_graph):
+        removed = small_graph.remove_concepts(["plastic", "not_there"])
+        assert removed == 1
+        assert "plastic" not in small_graph
+        # Children survive but lose their parent edge.
+        assert "cling_film" in small_graph
+        assert small_graph.parent("cling_film") is None
+
+    def test_copy_is_independent(self, small_graph):
+        duplicate = small_graph.copy()
+        duplicate.remove_concepts(["plastic"])
+        assert "plastic" in small_graph
+
+    def test_subgraph(self, small_graph):
+        sub = small_graph.subgraph(["plastic", "cling_film", "stone"])
+        assert len(sub) == 3
+        assert sub.children("plastic") == ["cling_film"]
+
+    def test_to_networkx_copies(self, small_graph):
+        nx_graph = small_graph.to_networkx()
+        nx_graph.remove_node("plastic")
+        assert "plastic" in small_graph
+        assert small_graph.hierarchy_to_networkx().has_edge("material", "plastic")

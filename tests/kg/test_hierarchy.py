@@ -1,0 +1,62 @@
+"""Tests for semantic-tree pruning (paper Section 4.3)."""
+
+import pytest
+
+from repro.kg import (KnowledgeGraph, PRUNE_LEVEL_0, PRUNE_LEVEL_1, PRUNE_NONE,
+                      Relation, prune_graph, pruned_concepts)
+
+
+@pytest.fixture()
+def tree():
+    graph = KnowledgeGraph()
+    graph.add_edge("material", "entity", relation=Relation.IS_A)
+    graph.add_edge("plastic", "material", relation=Relation.IS_A)
+    graph.add_edge("stone", "material", relation=Relation.IS_A)
+    graph.add_edge("cling_film", "plastic", relation=Relation.IS_A)
+    graph.add_edge("cellophane", "plastic", relation=Relation.IS_A)
+    graph.add_edge("marble", "stone", relation=Relation.IS_A)
+    graph.add_edge("keyboard", "entity", relation=Relation.IS_A)
+    return graph
+
+
+class TestPrunedConcepts:
+    def test_level_0_removes_class_and_descendants(self, tree):
+        removed = pruned_concepts(tree, "plastic", PRUNE_LEVEL_0)
+        assert removed == {"plastic", "cling_film", "cellophane"}
+
+    def test_level_1_also_removes_parent_subtree(self, tree):
+        removed = pruned_concepts(tree, "plastic", PRUNE_LEVEL_1)
+        assert removed == {"plastic", "cling_film", "cellophane", "material",
+                           "stone", "marble"}
+
+    def test_unknown_class_prunes_nothing(self, tree):
+        assert pruned_concepts(tree, "oatghurt", PRUNE_LEVEL_0) == set()
+
+    def test_invalid_level(self, tree):
+        with pytest.raises(ValueError):
+            pruned_concepts(tree, "plastic", 2)
+
+
+class TestPruneGraph:
+    def test_no_pruning_returns_copy(self, tree):
+        pruned = prune_graph(tree, ["plastic"], PRUNE_NONE)
+        assert len(pruned) == len(tree)
+        pruned.remove_concepts(["plastic"])
+        assert "plastic" in tree
+
+    def test_level_0_keeps_siblings(self, tree):
+        pruned = prune_graph(tree, ["plastic"], PRUNE_LEVEL_0)
+        assert "plastic" not in pruned
+        assert "stone" in pruned
+        assert "keyboard" in pruned
+
+    def test_level_1_keeps_unrelated_branches(self, tree):
+        pruned = prune_graph(tree, ["plastic"], PRUNE_LEVEL_1)
+        assert "stone" not in pruned
+        assert "keyboard" in pruned
+        assert "entity" in pruned
+
+    def test_multiple_target_classes(self, tree):
+        pruned = prune_graph(tree, ["plastic", "stone"], PRUNE_LEVEL_0)
+        assert "plastic" not in pruned and "stone" not in pruned
+        assert "material" in pruned

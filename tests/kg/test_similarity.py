@@ -1,0 +1,58 @@
+"""Tests for embedding similarity queries."""
+
+import numpy as np
+import pytest
+
+from repro.kg import EmbeddingIndex, cosine_similarity, top_k_similar
+
+
+class TestCosineSimilarity:
+    def test_parallel_and_orthogonal(self):
+        assert cosine_similarity([1, 0], [2, 0]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 0], [0, 3]) == pytest.approx(0.0)
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 2]) == 0.0
+
+
+class TestEmbeddingIndex:
+    @pytest.fixture()
+    def index(self):
+        return EmbeddingIndex({
+            "a": np.array([1.0, 0.0]),
+            "b": np.array([0.9, 0.1]),
+            "c": np.array([0.0, 1.0]),
+            "d": np.array([-1.0, 0.0]),
+        })
+
+    def test_top_k_order(self, index):
+        results = index.top_k(np.array([1.0, 0.0]), k=3)
+        assert [name for name, _ in results] == ["a", "b", "c"]
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclusion(self, index):
+        results = index.top_k(np.array([1.0, 0.0]), k=2, exclude=["a"])
+        assert [name for name, _ in results] == ["b", "c"]
+
+    def test_k_zero_and_zero_query(self, index):
+        assert index.top_k(np.array([1.0, 0.0]), k=0) == []
+        assert index.top_k(np.zeros(2), k=3) == []
+
+    def test_k_larger_than_index(self, index):
+        results = index.top_k(np.array([0.0, 1.0]), k=10)
+        assert len(results) == 4
+
+    def test_contains_and_vector(self, index):
+        assert "a" in index and "zzz" not in index
+        np.testing.assert_allclose(np.linalg.norm(index.vector("b")), 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingIndex({})
+
+    def test_top_k_similar_wrapper(self):
+        embeddings = {"x": np.array([1.0, 0.0]), "y": np.array([0.0, 1.0])}
+        results = top_k_similar(embeddings, np.array([1.0, 0.1]), k=1)
+        assert results[0][0] == "x"

@@ -1,0 +1,70 @@
+"""Fixtures shared by the module tests."""
+
+import numpy as np
+import pytest
+
+from repro.modules.base import ModuleInput
+from repro.scads.query import AuxiliarySelection
+
+
+@pytest.fixture(scope="module")
+def module_input(tiny_workspace, tiny_backbone):
+    """A 5-shot FMD task on the tiny workspace, with auxiliary data selected."""
+    split = tiny_workspace.make_task_split("fmd", shots=5, split_seed=0)
+    auxiliary = tiny_workspace.scads.select(split.classes, num_related_concepts=5,
+                                            images_per_concept=20,
+                                            rng=np.random.default_rng(0))
+    return ModuleInput(classes=split.classes,
+                       labeled_features=split.labeled_features,
+                       labeled_labels=split.labeled_labels,
+                       unlabeled_features=split.unlabeled_features[:120],
+                       auxiliary=auxiliary,
+                       backbone=tiny_backbone,
+                       scads=tiny_workspace.scads,
+                       seed=0)
+
+
+@pytest.fixture(scope="module")
+def module_input_no_aux(module_input):
+    """The same task with no auxiliary data available."""
+    empty = AuxiliarySelection(
+        features=np.zeros((0, module_input.labeled_features.shape[1])),
+        labels=np.zeros(0, dtype=np.int64), concepts=[])
+    return ModuleInput(classes=module_input.classes,
+                       labeled_features=module_input.labeled_features,
+                       labeled_labels=module_input.labeled_labels,
+                       unlabeled_features=module_input.unlabeled_features,
+                       auxiliary=empty,
+                       backbone=module_input.backbone,
+                       scads=module_input.scads,
+                       seed=0)
+
+
+@pytest.fixture(scope="module")
+def fmd_test_data(tiny_workspace):
+    split = tiny_workspace.make_task_split("fmd", shots=5, split_seed=0)
+    return split.test_features, split.test_labels
+
+
+@pytest.fixture(scope="module")
+def one_shot_inputs(tiny_workspace, tiny_backbone):
+    """1-shot FMD inputs with and without auxiliary data (for few-shot claims)."""
+    split = tiny_workspace.make_task_split("fmd", shots=1, split_seed=0)
+    auxiliary = tiny_workspace.scads.select(split.classes, num_related_concepts=5,
+                                            images_per_concept=20,
+                                            rng=np.random.default_rng(0))
+    empty = AuxiliarySelection(
+        features=np.zeros((0, split.labeled_features.shape[1])),
+        labels=np.zeros(0, dtype=np.int64), concepts=[])
+
+    def build(selection):
+        return ModuleInput(classes=split.classes,
+                           labeled_features=split.labeled_features,
+                           labeled_labels=split.labeled_labels,
+                           unlabeled_features=split.unlabeled_features[:120],
+                           auxiliary=selection,
+                           backbone=tiny_backbone,
+                           scads=tiny_workspace.scads,
+                           seed=0)
+
+    return build(auxiliary), build(empty)

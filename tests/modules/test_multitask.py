@@ -1,0 +1,41 @@
+"""Tests for the Multi-task module."""
+
+import numpy as np
+import pytest
+
+from repro.modules import MultiTaskConfig, MultiTaskModule
+
+
+FAST_CONFIG = MultiTaskConfig()
+
+
+class TestMultiTaskModule:
+    def test_produces_taglet_above_chance(self, module_input, fmd_test_data):
+        taglet = MultiTaskModule(FAST_CONFIG).train(module_input)
+        accuracy = taglet.accuracy(*fmd_test_data)
+        assert accuracy > 2.0 / module_input.num_classes
+
+    def test_probabilities_shape(self, module_input, fmd_test_data):
+        taglet = MultiTaskModule(FAST_CONFIG).train(module_input)
+        probs = taglet.predict_proba(fmd_test_data[0][:6])
+        assert probs.shape == (6, module_input.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6))
+
+    def test_without_auxiliary_degenerates_to_finetuning(self, module_input_no_aux,
+                                                         fmd_test_data):
+        taglet = MultiTaskModule(FAST_CONFIG).train(module_input_no_aux)
+        assert taglet.accuracy(*fmd_test_data) > 1.0 / module_input_no_aux.num_classes
+
+    def test_aux_loss_weight_zero_still_trains(self, module_input, fmd_test_data):
+        config = MultiTaskConfig(epochs=8, aux_loss_weight=0.0)
+        taglet = MultiTaskModule(config).train(module_input)
+        assert taglet.accuracy(*fmd_test_data) > 1.0 / module_input.num_classes
+
+    def test_module_name(self, module_input):
+        assert MultiTaskModule(FAST_CONFIG).train(module_input).name == "multitask"
+
+    def test_deterministic_given_seed(self, module_input, fmd_test_data):
+        a = MultiTaskModule(FAST_CONFIG).train(module_input)
+        b = MultiTaskModule(FAST_CONFIG).train(module_input)
+        np.testing.assert_allclose(a.predict_proba(fmd_test_data[0][:5]),
+                                   b.predict_proba(fmd_test_data[0][:5]))

@@ -1,0 +1,56 @@
+"""Tests for the Transfer module."""
+
+import numpy as np
+import pytest
+
+from repro.modules import TransferConfig, TransferModule
+
+
+FAST_CONFIG = TransferConfig()
+
+
+class TestTransferModule:
+    def test_produces_taglet_above_chance(self, module_input, fmd_test_data):
+        taglet = TransferModule(FAST_CONFIG).train(module_input)
+        test_features, test_labels = fmd_test_data
+        accuracy = taglet.accuracy(test_features, test_labels)
+        assert accuracy > 2.0 / module_input.num_classes
+
+    def test_probabilities_are_valid(self, module_input, fmd_test_data):
+        taglet = TransferModule(FAST_CONFIG).train(module_input)
+        probs = taglet.predict_proba(fmd_test_data[0][:10])
+        assert probs.shape == (10, module_input.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10))
+
+    def test_falls_back_to_finetuning_without_auxiliary(self, module_input_no_aux,
+                                                        fmd_test_data):
+        taglet = TransferModule(FAST_CONFIG).train(module_input_no_aux)
+        accuracy = taglet.accuracy(*fmd_test_data)
+        assert accuracy > 1.0 / module_input_no_aux.num_classes
+
+    def test_auxiliary_data_does_not_hurt_in_one_shot(self, one_shot_inputs,
+                                                      fmd_test_data):
+        """Auxiliary fine-tuning must at least not degrade the classifier when
+        labels are scarcest.  (On the reduced test workspace the backbone has
+        already seen most of the auxiliary haystack, so the *gain* is small —
+        the full-size benefit is measured by the benchmark harness and the
+        integration test; here we guard against regressions that make the
+        auxiliary phase destructive.)"""
+        with_aux_input, without_aux_input = one_shot_inputs
+        with_aux = TransferModule(FAST_CONFIG).train(with_aux_input)
+        without_aux = TransferModule(FAST_CONFIG).train(without_aux_input)
+        assert (with_aux.accuracy(*fmd_test_data)
+                >= without_aux.accuracy(*fmd_test_data) - 0.06)
+
+    def test_module_name(self, module_input):
+        taglet = TransferModule(FAST_CONFIG).train(module_input)
+        assert taglet.name == "transfer"
+
+    def test_requires_labeled_data(self, module_input):
+        import copy
+
+        broken = copy.copy(module_input)
+        broken.labeled_features = np.zeros((0, module_input.labeled_features.shape[1]))
+        broken.labeled_labels = np.zeros(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            TransferModule(FAST_CONFIG).train(broken)

@@ -1,0 +1,138 @@
+"""Tests for loss functions and activations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty(self):
+        assert F.one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        probs = F.softmax(logits).numpy()
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert (probs >= 0).all()
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        a = F.softmax(Tensor(logits)).numpy()
+        b = F.softmax(Tensor(logits + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_log_softmax_consistency(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        log_probs = F.log_softmax(logits).numpy()
+        np.testing.assert_allclose(np.exp(log_probs), F.softmax(logits).numpy(),
+                                   atol=1e-12)
+
+    def test_numerical_stability_large_logits(self):
+        probs = F.softmax(Tensor([[1e4, 0.0, -1e4]])).numpy()
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]])
+        targets = np.array([0, 1])
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        manual = -np.mean([np.log(np.exp(logits[i, t]) / np.exp(logits[i]).sum())
+                           for i, t in enumerate(targets)])
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        # Gradient should be negative for the target class, positive elsewhere.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+    def test_sample_weights(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        targets = np.array([0, 0])
+        unweighted = F.cross_entropy(Tensor(logits), targets).item()
+        weighted = F.cross_entropy(Tensor(logits), targets,
+                                   sample_weights=np.array([1.0, 0.0])).item()
+        assert weighted < unweighted
+
+
+class TestSoftCrossEntropy:
+    def test_equals_hard_ce_for_one_hot_targets(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        hard = F.cross_entropy(Tensor(logits), targets).item()
+        soft = F.soft_cross_entropy(Tensor(logits), F.one_hot(targets, 4)).item()
+        assert hard == pytest.approx(soft, rel=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.soft_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+    def test_uniform_targets_minimized_by_uniform_logits(self):
+        uniform = np.full((1, 4), 0.25)
+        loss_uniform = F.soft_cross_entropy(Tensor(np.zeros((1, 4))), uniform).item()
+        loss_peaked = F.soft_cross_entropy(Tensor(np.array([[10.0, 0, 0, 0]])),
+                                           uniform).item()
+        assert loss_uniform < loss_peaked
+
+
+class TestRegressionLossesAndAccuracy:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(np.ones((3, 2)))
+        assert F.mse_loss(x, np.ones((3, 2))).item() == pytest.approx(0.0)
+
+    def test_l2_loss_rowwise(self):
+        predictions = Tensor(np.zeros((2, 3)))
+        targets = np.ones((2, 3))
+        assert F.l2_loss(predictions, targets).item() == pytest.approx(3.0)
+
+    def test_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert F.accuracy(scores, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert F.accuracy(np.zeros((0, 3)), np.array([])) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (5, 4), elements=st.floats(-5, 5)))
+def test_property_softmax_rows_are_distributions(logits):
+    probs = F.softmax(Tensor(logits)).numpy()
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (4, 3), elements=st.floats(-5, 5)),
+       st.integers(0, 2))
+def test_property_cross_entropy_nonnegative(logits, target_class):
+    targets = np.full(4, target_class)
+    loss = F.cross_entropy(Tensor(logits), targets).item()
+    assert loss >= -1e-9

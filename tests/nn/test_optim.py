@@ -1,0 +1,94 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter
+
+
+def quadratic_loss_step(optimizer, param, target):
+    """One gradient step on 0.5 * ||param - target||^2."""
+    param.grad = param.data - target
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        param = Parameter(np.array([10.0, -10.0]))
+        optimizer = SGD([param], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(200):
+            quadratic_loss_step(optimizer, param, target)
+        np.testing.assert_allclose(param.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+
+        def distance_after(momentum, steps=30):
+            param = Parameter(np.array([10.0]))
+            optimizer = SGD([param], lr=0.05, momentum=momentum)
+            for _ in range(steps):
+                quadratic_loss_step(optimizer, param, target)
+            return abs(param.data[0] - target[0])
+
+        assert distance_after(0.9) < distance_after(0.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, nesterov=True)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert abs(param.data[0]) < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no grad set: should be a no-op
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([1.0])
+        SGD([param], lr=0.1).zero_grad()
+        assert param.grad is None
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([param], lr=0.1)
+        target = np.array([-1.0, 4.0])
+        for _ in range(500):
+            quadratic_loss_step(optimizer, param, target)
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_first_step_size_close_to_lr(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.01)
+        param.grad = np.array([1000.0])
+        optimizer.step()
+        # Adam normalizes by the gradient magnitude, so the first step ~ lr.
+        assert abs(param.data[0] - 1.0) == pytest.approx(0.01, rel=0.05)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
+
+    def test_set_lr(self):
+        optimizer = Adam([Parameter(np.zeros(1))], lr=0.1)
+        optimizer.set_lr(0.02)
+        assert optimizer.lr == pytest.approx(0.02)
+        with pytest.raises(ValueError):
+            optimizer.set_lr(-1.0)

@@ -1,0 +1,38 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, load_into_module, load_state_dict, save_module,
+                      save_state_dict, Tensor)
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self, tmp_path):
+        path = str(tmp_path / "checkpoints" / "model.npz")
+        state = {"layer.weight": np.random.default_rng(0).normal(size=(3, 4)),
+                 "layer.bias": np.zeros(4)}
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        np.testing.assert_allclose(loaded["layer.weight"], state["layer.weight"])
+
+    def test_module_roundtrip_preserves_predictions(self, tmp_path):
+        path = str(tmp_path / "mlp.npz")
+        source = MLP(5, [7], 3, rng=np.random.default_rng(0))
+        save_module(source, path)
+        target = MLP(5, [7], 3, rng=np.random.default_rng(1))
+        load_into_module(target, path)
+        x = Tensor(np.random.default_rng(2).normal(size=(4, 5)))
+        np.testing.assert_allclose(source(x).numpy(), target(x).numpy())
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(str(tmp_path / "missing.npz"))
+
+    def test_shape_mismatch_on_load(self, tmp_path):
+        path = str(tmp_path / "mlp.npz")
+        save_module(MLP(5, [7], 3), path)
+        wrong = MLP(5, [9], 3)
+        with pytest.raises((ValueError, KeyError)):
+            load_into_module(wrong, path)

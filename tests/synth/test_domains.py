@@ -1,0 +1,62 @@
+"""Tests for the visual domain shifts."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (ClipartDomain, NaturalDomain, ProductDomain,
+                         SmartphoneDomain, build_domain, DOMAIN_NAMES)
+
+
+class TestDomains:
+    def test_natural_is_identity(self):
+        images = np.random.default_rng(0).normal(size=(5, 8))
+        np.testing.assert_allclose(NaturalDomain()(images), images)
+
+    def test_product_is_affine(self):
+        domain = ProductDomain(dim=8, seed=0)
+        images = np.random.default_rng(0).normal(size=(4, 8))
+        out = domain(images)
+        # Affine map: difference of outputs equals gain * difference of inputs.
+        np.testing.assert_allclose(out[0] - out[1], domain.gain * (images[0] - images[1]))
+
+    def test_clipart_mixes_features(self):
+        domain = ClipartDomain(dim=8, seed=1)
+        images = np.zeros((1, 8))
+        images[0, 0] = 1.0
+        out = domain(images) - domain(np.zeros((1, 8)))
+        # A single active feature spreads across several output features.
+        assert (np.abs(out) > 1e-6).sum() > 1
+
+    def test_clipart_is_stronger_shift_than_product(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(50, 16))
+        product_delta = np.linalg.norm(ProductDomain(16)(images) - images, axis=1).mean()
+        clipart_delta = np.linalg.norm(ClipartDomain(16)(images) - images, axis=1).mean()
+        assert clipart_delta > product_delta
+
+    def test_smartphone_smooths(self):
+        domain = SmartphoneDomain(dim=16, seed=0, window=3, gain=1.0)
+        spiky = np.zeros((1, 16))
+        spiky[0, 8] = 3.0
+        out = domain(spiky) - domain(np.zeros((1, 16)))
+        assert out[0, 8] < 3.0
+        assert out[0, 7] > 0.0
+
+    def test_determinism(self):
+        images = np.random.default_rng(1).normal(size=(3, 8))
+        a = ClipartDomain(8, seed=5)(images)
+        b = ClipartDomain(8, seed=5)(images)
+        np.testing.assert_allclose(a, b)
+
+    def test_build_domain_factory(self):
+        for name in DOMAIN_NAMES:
+            domain = build_domain(name, dim=8)
+            assert domain(np.zeros((2, 8))).shape == (2, 8)
+        with pytest.raises(ValueError):
+            build_domain("oil_painting", dim=8)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            NaturalDomain()(np.zeros(8))
+        with pytest.raises(ValueError):
+            SmartphoneDomain(dim=8, window=0)
