@@ -23,12 +23,27 @@ Each benchmark prints the regenerated rows/series and also writes them to
 from __future__ import annotations
 
 import os
+import sys
 
 import pytest
+
+# Resolve ``_bench_lib`` regardless of pytest's rootdir: collecting the whole
+# repo (rootdir ``/.../repo``) does not put ``benchmarks/`` on sys.path, so
+# insert it explicitly before the import.
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
 
 from _bench_lib import BenchGrid, RecordCache
 from repro.evaluation import ExperimentRunner
 from repro.workspace import build_workspace
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under ``benchmarks/`` with the ``bench`` marker."""
+    for item in items:
+        if _BENCH_DIR in str(getattr(item, "fspath", "")):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,194 @@
+"""Engine and pipeline throughput benchmarks (the ``BENCH_*`` trajectory).
+
+Measures the three layers of the training fast path and records them in
+``BENCH_engine.json`` at the repo root so future perf PRs are judged against
+a tracked baseline:
+
+* training steps/sec of the autograd engine — seed-compatible path
+  (primitive-composed ops, tape-on inference, float64) vs the fused float64
+  and fused float32 paths;
+* inference throughput with and without the ``no_grad`` tape bypass;
+* end-to-end ``Controller.run`` — the seed sequential/float64 path vs the
+  parallel + float32 fast path (the acceptance criterion: ≥2×).
+
+Run with ``pytest benchmarks/test_engine_throughput.py`` (the ``bench``
+marker keeps it out of tier-1).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core import Controller, ControllerConfig, Task
+from repro.kg import GraphSpec
+from repro.modules import ZslKgModule
+from repro.nn import (MLP, TrainConfig, default_dtype, predict_proba,
+                      seed_compat_mode, train_classifier)
+from repro.synth import WorldSpec
+from repro.workspace import Workspace, WorkspaceSpec
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_engine.json")
+
+
+def update_bench(section: str, payload: dict) -> None:
+    record = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    record["created"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    record.setdefault("host", {
+        "cpus": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+    })
+    record[section] = payload
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+# --------------------------------------------------------------------------- #
+# Layer 1: raw engine throughput
+# --------------------------------------------------------------------------- #
+TRAIN_N, TRAIN_D, TRAIN_C = 512, 64, 10
+TRAIN_EPOCHS = 20
+
+
+def _train_once(dtype=None, compat=False) -> float:
+    """Train a backbone-sized MLP and return wall-clock seconds."""
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(TRAIN_N, TRAIN_D))
+    labels = rng.integers(0, TRAIN_C, size=TRAIN_N)
+    import contextlib
+    start = time.perf_counter()
+    with contextlib.ExitStack() as stack:
+        if compat:
+            stack.enter_context(seed_compat_mode())
+        if dtype is not None:
+            stack.enter_context(default_dtype(dtype))
+        model = MLP(TRAIN_D, [128, 128], TRAIN_C, rng=np.random.default_rng(1))
+        train_classifier(model, features, labels,
+                         TrainConfig(epochs=TRAIN_EPOCHS, batch_size=64, seed=0))
+    return time.perf_counter() - start
+
+
+def test_training_steps_per_sec():
+    steps = TRAIN_EPOCHS * (TRAIN_N // 64)
+    # Warm up BLAS/caches, then measure.
+    _train_once()
+    timings = {
+        "seed_compat_float64": _train_once(compat=True),
+        "fused_float64": _train_once(),
+        "fused_float32": _train_once(dtype=np.float32),
+    }
+    result = {name: round(steps / seconds, 1)
+              for name, seconds in timings.items()}
+    result["fused_float32_speedup_vs_seed"] = round(
+        timings["seed_compat_float64"] / timings["fused_float32"], 2)
+    update_bench("training_steps_per_sec", result)
+    assert result["fused_float32_speedup_vs_seed"] > 1.0
+
+
+def test_inference_throughput():
+    rng = np.random.default_rng(2)
+    features = rng.normal(size=(4096, TRAIN_D))
+    model = MLP(TRAIN_D, [128, 128], TRAIN_C, rng=np.random.default_rng(3))
+
+    def measure(compat: bool, repeats: int = 20) -> float:
+        import contextlib
+        with contextlib.ExitStack() as stack:
+            if compat:
+                stack.enter_context(seed_compat_mode())
+            predict_proba(model, features)  # warm-up
+            start = time.perf_counter()
+            for _ in range(repeats):
+                predict_proba(model, features, batch_size=None)
+            elapsed = time.perf_counter() - start
+        return repeats * len(features) / elapsed
+
+    result = {
+        "seed_compat_tape_examples_per_sec": round(measure(compat=True), 0),
+        "no_grad_examples_per_sec": round(measure(compat=False), 0),
+    }
+    result["no_grad_speedup"] = round(
+        result["no_grad_examples_per_sec"]
+        / result["seed_compat_tape_examples_per_sec"], 2)
+    update_bench("inference_throughput", result)
+    assert result["no_grad_speedup"] > 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Layer 2: end-to-end Controller.run on the synthetic workload
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def bench_task():
+    spec = WorkspaceSpec(graph=GraphSpec(num_filler_concepts=300, seed=0),
+                         world=WorldSpec(seed=0),
+                         scads_images_per_concept=30, seed=0)
+    workspace = Workspace(spec)
+    split = workspace.make_task_split("fmd", shots=5, split_seed=0)
+    return Task.from_split(split, scads=workspace.scads,
+                           backbone=workspace.backbone("resnet50"),
+                           wanted_num_related_class=3,
+                           images_per_related_class=8)
+
+
+def _run_controller(task, parallel: bool, dtype, compat: bool,
+                    repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall clock of a full paper-default-budget run.
+
+    Best-of-N because the reference container is a single shared CPU: the
+    minimum is the least-perturbed observation of each path.
+    """
+    import contextlib
+    timings = []
+    for _ in range(repeats):
+        # Clear the ZSL-KG pretraining cache so every run trains from scratch.
+        ZslKgModule._pretrained_cache.clear()
+        config = ControllerConfig(parallel_modules=parallel, dtype=dtype,
+                                  seed=0)
+        controller = Controller(config=config)  # the four default modules
+        start = time.perf_counter()
+        with contextlib.ExitStack() as stack:
+            if compat:
+                stack.enter_context(seed_compat_mode())
+            controller.run(task)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def test_controller_seed_vs_fast_path(bench_task):
+    """Acceptance criterion: parallel + float32 fast path ≥2× the seed path."""
+    # Warm BLAS/caches once before timing anything.
+    _run_controller(bench_task, parallel=False, dtype=None, compat=False,
+                    repeats=1)
+    seed_seconds = _run_controller(bench_task, parallel=False, dtype=None,
+                                   compat=True)
+    fast_seconds = _run_controller(bench_task, parallel=True, dtype="float32",
+                                   compat=False)
+    # Secondary decomposition so the trajectory shows where the time goes.
+    fused_sequential_f64 = _run_controller(bench_task, parallel=False,
+                                           dtype=None, compat=False,
+                                           repeats=1)
+    speedup = seed_seconds / fast_seconds
+    update_bench("controller_run", {
+        "workload": ("fmd 5-shot, tiny workspace, four paper-default modules "
+                     "+ end model, best of 3 runs"),
+        "seed_sequential_float64_sec": round(seed_seconds, 2),
+        "fused_sequential_float64_sec": round(fused_sequential_f64, 2),
+        "fast_parallel_float32_sec": round(fast_seconds, 2),
+        "speedup_fast_vs_seed": round(speedup, 2),
+    })
+    print(f"\nController.run: seed {seed_seconds:.2f}s -> "
+          f"fast {fast_seconds:.2f}s ({speedup:.2f}x)")
+    assert speedup >= 2.0, (
+        f"fast path must be >=2x the seed sequential/float64 path, "
+        f"got {speedup:.2f}x")

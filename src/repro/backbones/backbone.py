@@ -113,7 +113,7 @@ class ClassificationModel(Module):
     def set_head_weights(self, weights: np.ndarray,
                          bias: Optional[np.ndarray] = None) -> None:
         """Set the head's weight matrix directly (used by the ZSL-KG module)."""
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=self.head.weight.data.dtype)
         if weights.shape != (self.encoder.feature_dim, self.num_classes):
             raise ValueError(
                 f"expected weights of shape ({self.encoder.feature_dim}, "
@@ -122,7 +122,8 @@ class ClassificationModel(Module):
         if bias is not None:
             if self.head.bias is None:
                 raise ValueError("head has no bias parameter")
-            self.head.bias.data = np.asarray(bias, dtype=np.float64).copy()
+            self.head.bias.data = np.asarray(
+                bias, dtype=self.head.bias.data.dtype).copy()
 
     @classmethod
     def from_backbone(cls, backbone: PretrainedBackbone, num_classes: int,

@@ -15,10 +15,15 @@ module-level and ensembling analyses of the paper (Figures 5–7) consume.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
+
+from ..nn.tensor import default_dtype
 
 from ..distill.end_model import EndModel, EndModelConfig, train_end_model
 from ..ensemble.voting import TagletEnsemble
@@ -51,6 +56,20 @@ class ControllerConfig:
     end_model: EndModelConfig = field(default_factory=EndModelConfig)
     #: train the end model even when there is no unlabeled data to pseudo-label
     train_end_model_without_unlabeled: bool = True
+    #: train the taglet modules concurrently in a thread pool (NumPy's BLAS
+    #: releases the GIL).  Every module seeds its own RNGs from the run seed,
+    #: so the parallel path is bit-identical to the sequential one.
+    parallel_modules: bool = False
+    #: thread-pool size for parallel module training (None = one per module,
+    #: capped at the machine's CPU count — oversubscribing a single core only
+    #: adds GIL contention)
+    max_workers: Optional[int] = None
+    #: engine dtype for the whole run: None keeps the process default,
+    #: "float32" selects the halved-bandwidth fast mode (see docs/performance.md).
+    #: The dtype scope is process-global so it propagates into the module
+    #: worker threads; running two Controllers concurrently with *different*
+    #: dtypes in one process is unsupported.
+    dtype: Optional[str] = None
     seed: int = 0
 
 
@@ -128,45 +147,61 @@ class Controller:
 
     def train_taglets(self, task: Task,
                       auxiliary: AuxiliarySelection) -> List[Taglet]:
-        """Step 2: train every module independently."""
+        """Step 2: train every module independently.
+
+        With ``parallel_modules`` the modules train concurrently in a thread
+        pool.  Each module constructs all of its RNGs locally from its
+        :class:`ModuleInput` seed and trains a private copy of the backbone,
+        so no mutable state is shared between threads and the result is
+        bit-identical to the sequential path.
+        """
         bundle = task.scads
         if bundle is not None and self.config.prune_level is not None:
             bundle = bundle.pruned(task.classes, self.config.prune_level)
-        taglets: List[Taglet] = []
-        for module in self.modules:
-            data = ModuleInput(classes=task.classes,
-                               labeled_features=task.labeled_features,
-                               labeled_labels=task.labeled_labels,
-                               unlabeled_features=task.unlabeled_features,
-                               auxiliary=auxiliary,
-                               backbone=task.backbone,
-                               scads=bundle,
-                               seed=self.config.seed)
-            taglets.append(module.train(data))
-        return taglets
+        inputs = [ModuleInput(classes=task.classes,
+                              labeled_features=task.labeled_features,
+                              labeled_labels=task.labeled_labels,
+                              unlabeled_features=task.unlabeled_features,
+                              auxiliary=auxiliary,
+                              backbone=task.backbone,
+                              scads=bundle,
+                              seed=self.config.seed)
+                  for _ in self.modules]
+        if self.config.parallel_modules and len(self.modules) > 1:
+            workers = self.config.max_workers or min(len(self.modules),
+                                                     os.cpu_count() or 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(lambda pair: pair[0].train(pair[1]),
+                                     zip(self.modules, inputs)))
+        return [module.train(data)
+                for module, data in zip(self.modules, inputs)]
 
     def run(self, task: Task) -> TagletsResult:
         """Run the full pipeline and return all artifacts."""
         if not task.has_backbone:
             raise RuntimeError("the task has no backbone; call set_initial_model()")
-        auxiliary = self.select_auxiliary_data(task)
-        taglets = self.train_taglets(task, auxiliary)
-        ensemble = TagletEnsemble(taglets)
+        dtype_scope = (default_dtype(self.config.dtype)
+                       if self.config.dtype is not None else nullcontext())
+        with dtype_scope:
+            auxiliary = self.select_auxiliary_data(task)
+            taglets = self.train_taglets(task, auxiliary)
+            ensemble = TagletEnsemble(taglets)
 
-        if len(task.unlabeled_features):
-            pseudo_labels = ensemble.predict_proba(task.unlabeled_features)
-        else:
-            pseudo_labels = np.zeros((0, task.num_classes))
+            if len(task.unlabeled_features):
+                pseudo_labels = ensemble.predict_proba(task.unlabeled_features,
+                                                       batch_size=None)
+            else:
+                pseudo_labels = np.zeros((0, task.num_classes))
 
-        end_model = train_end_model(
-            backbone=task.backbone,
-            labeled_features=task.labeled_features,
-            labeled_labels=task.labeled_labels,
-            pseudo_features=task.unlabeled_features,
-            pseudo_probabilities=pseudo_labels,
-            num_classes=task.num_classes,
-            config=self.config.end_model,
-            seed=self.config.seed)
+            end_model = train_end_model(
+                backbone=task.backbone,
+                labeled_features=task.labeled_features,
+                labeled_labels=task.labeled_labels,
+                pseudo_features=task.unlabeled_features,
+                pseudo_probabilities=pseudo_labels,
+                num_classes=task.num_classes,
+                config=self.config.end_model,
+                seed=self.config.seed)
 
         result = TagletsResult(taglets=taglets, ensemble=ensemble,
                                end_model=end_model, auxiliary=auxiliary,

@@ -17,6 +17,7 @@ import numpy as np
 from ..backbones.backbone import ClassificationModel, PretrainedBackbone
 from ..modules.base import ModelTaglet
 from ..nn import functional as F
+from ..nn.tensor import get_default_dtype
 from ..nn.training import TrainConfig, train_soft_classifier
 from ..nn.transforms import weak_augment
 
@@ -62,10 +63,10 @@ def train_end_model(backbone: PretrainedBackbone,
     ``P ∪ X``.
     """
     config = config or EndModelConfig()
-    labeled_features = np.asarray(labeled_features, dtype=np.float64)
+    labeled_features = np.asarray(labeled_features, dtype=get_default_dtype())
     labeled_labels = np.asarray(labeled_labels, dtype=np.int64)
-    pseudo_features = np.asarray(pseudo_features, dtype=np.float64)
-    pseudo_probabilities = np.asarray(pseudo_probabilities, dtype=np.float64)
+    pseudo_features = np.asarray(pseudo_features, dtype=get_default_dtype())
+    pseudo_probabilities = np.asarray(pseudo_probabilities, dtype=get_default_dtype())
 
     if len(labeled_features) == 0:
         raise ValueError("the end model requires labeled data")

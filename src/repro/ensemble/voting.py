@@ -9,6 +9,7 @@ distilled end model (Figure 6).
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -32,14 +33,33 @@ def vote_matrix(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
     return stacked
 
 
-def ensemble_probabilities(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
-    """Soft pseudo labels: the average of the taglets' probability vectors (Eq. 6)."""
-    votes = vote_matrix(taglet_probabilities)
+def _renormalized_mean(votes: np.ndarray) -> np.ndarray:
+    """Average a ``(|T|, n, C)`` vote tensor and renormalize rows to sum to one."""
     pseudo = votes.mean(axis=0)
-    # Guard against numerical drift: renormalize rows to sum to one.
     row_sums = pseudo.sum(axis=1, keepdims=True)
     row_sums[row_sums == 0] = 1.0
     return pseudo / row_sums
+
+
+def ensemble_probabilities(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
+    """Soft pseudo labels: the average of the taglets' probability vectors (Eq. 6)."""
+    return _renormalized_mean(vote_matrix(taglet_probabilities))
+
+
+def _member_proba(taglet: Taglet, features: np.ndarray,
+                  batch_size) -> np.ndarray:
+    """Call a member's ``predict_proba``, tolerating legacy signatures.
+
+    Custom taglets written against the original ``predict_proba(features)``
+    interface keep working; built-in taglets get the batched inference path.
+    The signature is inspected rather than caught: a ``TypeError`` raised
+    *inside* a member must propagate, not trigger a silent retry.
+    """
+    parameters = inspect.signature(taglet.predict_proba).parameters
+    if "batch_size" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return taglet.predict_proba(features, batch_size=batch_size)
+    return taglet.predict_proba(features)
 
 
 class TagletEnsemble:
@@ -58,9 +78,26 @@ class TagletEnsemble:
         """Per-taglet probability matrices, keyed by taglet name."""
         return {t.name: t.predict_proba(features) for t in self.taglets}
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        member = [t.predict_proba(features) for t in self.taglets]
-        return ensemble_probabilities(member)
+    def predict_proba(self, features: np.ndarray,
+                      batch_size: Optional[int] = 256) -> np.ndarray:
+        """Soft pseudo labels over ``features`` (Eq. 6), batched per member.
+
+        Each member scores the whole array in one inference pass into a
+        preallocated ``(|T|, n, C)`` vote tensor — no per-chunk Python loop,
+        no re-stacking — and the average is renormalized row-wise.
+        ``batch_size=None`` disables member-level chunking entirely.
+        """
+        first = np.asarray(_member_proba(self.taglets[0], features, batch_size))
+        if first.ndim != 2:
+            raise ValueError("each taglet prediction must be an (n, C) matrix")
+        votes = np.empty((len(self.taglets),) + first.shape, dtype=np.float64)
+        votes[0] = first
+        for i, taglet in enumerate(self.taglets[1:], start=1):
+            member = np.asarray(_member_proba(taglet, features, batch_size))
+            if member.shape != first.shape:
+                raise ValueError("taglet predictions disagree on shape")
+            votes[i] = member
+        return _renormalized_mean(votes)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         return self.predict_proba(features).argmax(axis=1)

@@ -45,7 +45,12 @@ class EmbeddingIndex:
 
     def top_k(self, query: np.ndarray, k: int,
               exclude: Optional[Sequence[str]] = None) -> List[Tuple[str, float]]:
-        """Return the ``k`` concepts most cosine-similar to ``query``."""
+        """Return the ``k`` concepts most cosine-similar to ``query``.
+
+        Uses ``np.argpartition`` to select the candidate set in O(n) and only
+        sorts those ``k + |exclude|`` candidates, instead of fully sorting
+        every score.
+        """
         if k <= 0:
             return []
         query = np.asarray(query, dtype=np.float64)
@@ -53,10 +58,20 @@ class EmbeddingIndex:
         if norm == 0:
             return []
         scores = self._normalized @ (query / norm)
-        excluded = set(exclude or ())
-        order = np.argsort(-scores)
+        return self._rank(scores, k, set(exclude or ()))
+
+    def _rank(self, scores: np.ndarray, k: int,
+              excluded: set) -> List[Tuple[str, float]]:
+        # Partition for the k best plus enough headroom to absorb excluded
+        # concepts that land in the top slots.
+        want = min(k + len(excluded), len(scores))
+        if want < len(scores):
+            candidates = np.argpartition(-scores, want - 1)[:want]
+            candidates = candidates[np.argsort(-scores[candidates])]
+        else:
+            candidates = np.argsort(-scores)
         out: List[Tuple[str, float]] = []
-        for i in order:
+        for i in candidates:
             concept = self.concepts[i]
             if concept in excluded:
                 continue
@@ -64,6 +79,26 @@ class EmbeddingIndex:
             if len(out) == k:
                 break
         return out
+
+    def top_k_batch(self, queries: np.ndarray, k: int,
+                    exclude: Optional[Sequence[str]] = None
+                    ) -> List[List[Tuple[str, float]]]:
+        """Top-k for a ``(q, d)`` batch of queries in one matrix multiply.
+
+        Rows with zero norm yield empty result lists (mirroring
+        :meth:`top_k` on a zero query).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+        if k <= 0 or not len(queries):
+            return [[] for _ in range(len(queries))]
+        norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        safe = np.where(norms == 0, 1.0, norms)
+        all_scores = (queries / safe) @ self._normalized.T
+        excluded = set(exclude or ())
+        return [self._rank(row, k, excluded) if norms[i, 0] else []
+                for i, row in enumerate(all_scores)]
 
 
 def top_k_similar(embeddings: Mapping[str, np.ndarray], query: np.ndarray, k: int,

@@ -64,8 +64,13 @@ class Taglet:
     def __init__(self, name: str):
         self.name = name
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        """Return an ``(n, C)`` matrix of class probabilities."""
+    def predict_proba(self, features: np.ndarray,
+                      batch_size: Optional[int] = 256) -> np.ndarray:
+        """Return an ``(n, C)`` matrix of class probabilities.
+
+        ``batch_size=None`` runs the whole array as one batch (the ensemble
+        uses this for pseudo-label inference).
+        """
         raise NotImplementedError
 
     def predict(self, features: np.ndarray) -> np.ndarray:
@@ -84,8 +89,9 @@ class ModelTaglet(Taglet):
         super().__init__(name)
         self.model = model
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        return predict_proba(self.model, features)
+    def predict_proba(self, features: np.ndarray,
+                      batch_size: Optional[int] = 256) -> np.ndarray:
+        return predict_proba(self.model, features, batch_size=batch_size)
 
 
 class TrainingModule:

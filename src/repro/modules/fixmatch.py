@@ -21,7 +21,7 @@ from ..nn import functional as F
 from ..nn.data import ArrayDataset, DataLoader, UnlabeledDataset
 from ..nn.optim import SGD
 from ..nn.schedulers import FixMatchCosineLR
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, inference_mode
 from ..nn.training import TrainConfig, iterate_forever, train_classifier
 from ..nn.transforms import strong_augment, weak_augment
 from .base import ModelTaglet, ModuleInput, Taglet, TrainingModule
@@ -138,7 +138,8 @@ class FixMatchModule(TrainingModule):
                     # Pseudo labels come from the weakly augmented view with no
                     # gradient flow, as in the original algorithm.
                     model.eval()
-                    weak_logits = model(Tensor(weak(unlabeled_x, rng))).data
+                    with inference_mode():
+                        weak_logits = model(Tensor(weak(unlabeled_x, rng))).data
                     model.train()
                     weak_probs = _softmax(weak_logits)
                     confidence = weak_probs.max(axis=1)

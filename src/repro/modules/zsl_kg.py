@@ -28,6 +28,7 @@ from ..backbones.backbone import ClassificationModel, PretrainedBackbone
 from ..kg.graph import KnowledgeGraph
 from ..nn import functional as F
 from ..nn.modules import Linear, Module, ReLU
+from ..nn.tensor import get_default_dtype, inference_mode
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
 from ..nn.training import predict_logits
@@ -77,6 +78,12 @@ class GraphClassEncoder(Module):
         return self.fc2(self.activation(self.fc1(node_descriptions)))
 
 
+def _eval_forward(module: Module, inputs: np.ndarray) -> np.ndarray:
+    """Forward pass for eval-only consumers, tape-free when enabled."""
+    with inference_mode():
+        return module(Tensor(inputs)).data
+
+
 class ZslKgTaglet(Taglet):
     """Zero-shot classifier: frozen backbone features scored against class vectors."""
 
@@ -85,8 +92,10 @@ class ZslKgTaglet(Taglet):
         self.model = model
         self.logit_scale = logit_scale
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        logits = predict_logits(self.model, features) * self.logit_scale
+    def predict_proba(self, features: np.ndarray,
+                      batch_size: Optional[int] = 256) -> np.ndarray:
+        logits = predict_logits(self.model, features,
+                                batch_size=batch_size) * self.logit_scale
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)
@@ -127,7 +136,10 @@ class ZslKgModule(TrainingModule):
     # ------------------------------------------------------------------ #
     def _pretrain(self, bundle: ScadsBundle, backbone: PretrainedBackbone,
                   seed: int) -> Dict[str, np.ndarray]:
-        cache_key = (id(backbone), id(bundle.scads.graph))
+        # The engine dtype is part of the key: float32-mode pretrain weights
+        # must not silently leak into a later float64 run (or vice versa).
+        cache_key = (id(backbone), id(bundle.scads.graph),
+                     np.dtype(get_default_dtype()).name)
         if cache_key in self._pretrained_cache:
             return self._pretrained_cache[cache_key]
 
@@ -146,7 +158,7 @@ class ZslKgModule(TrainingModule):
             images = bundle.scads.get_images(concept,
                                              limit=config.images_per_prototype,
                                              rng=rng)
-            features = encoder(Tensor(images)).data
+            features = _eval_forward(encoder, images)
             prototype = features.mean(axis=0)
             norm = np.linalg.norm(prototype)
             prototypes.append(prototype / norm if norm > 0 else prototype)
@@ -174,7 +186,8 @@ class ZslKgModule(TrainingModule):
             loss.backward()
             optimizer.step()
             class_encoder.eval()
-            val_loss = F.l2_loss(class_encoder(val_x), val_y).item()
+            with inference_mode():
+                val_loss = F.l2_loss(class_encoder(val_x), val_y).item()
             if val_loss < best_val:
                 best_val = val_loss
                 best_state = class_encoder.state_dict()
@@ -209,7 +222,7 @@ class ZslKgModule(TrainingModule):
                     vector = np.zeros(bundle.embedding.dim)
                 description = self._node_description(bundle, vector)
             descriptions.append(description)
-        class_vectors = class_encoder(Tensor(np.stack(descriptions))).data
+        class_vectors = _eval_forward(class_encoder, np.stack(descriptions))
 
         model = ClassificationModel.from_backbone(data.backbone,
                                                   num_classes=data.num_classes,

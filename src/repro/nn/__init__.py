@@ -17,7 +17,9 @@ from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, StepLR, WarmupMultiStepLR)
 from .serialization import (load_into_module, load_state_dict, save_module,
                             save_state_dict)
-from .tensor import Tensor, concatenate, stack
+from .tensor import (Tensor, concatenate, default_dtype, get_default_dtype,
+                     is_grad_enabled, no_grad, seed_compat_mode,
+                     set_default_dtype, stack, use_fused_ops)
 from .training import (TrainConfig, build_optimizer, build_scheduler,
                        evaluate_accuracy, iterate_forever, predict_logits,
                        predict_proba, train_classifier, train_soft_classifier)
@@ -27,6 +29,8 @@ from .transforms import (Compose, GaussianJitter, IdentityTransform,
 
 __all__ = [
     "Tensor", "stack", "concatenate", "functional",
+    "no_grad", "is_grad_enabled", "default_dtype", "get_default_dtype",
+    "set_default_dtype", "use_fused_ops", "seed_compat_mode",
     "Module", "Parameter", "Linear", "ReLU", "Tanh", "Identity", "Dropout",
     "BatchNorm1d", "Sequential", "MLP",
     "Optimizer", "SGD", "Adam",

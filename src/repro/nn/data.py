@@ -14,6 +14,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .tensor import get_default_dtype
+
 __all__ = [
     "Dataset",
     "ArrayDataset",
@@ -40,7 +42,7 @@ class ArrayDataset(Dataset):
     """Labeled dataset backed by an ``(n, d)`` feature array and integer labels."""
 
     def __init__(self, features: np.ndarray, labels: np.ndarray):
-        features = np.asarray(features, dtype=np.float64)
+        features = np.asarray(features, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         if len(features) != len(labels):
             raise ValueError(
@@ -53,6 +55,9 @@ class ArrayDataset(Dataset):
 
     def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
         return self.features[index], int(self.labels[index])
+
+    def _batch_arrays(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.features[indices], self.labels[indices]
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return the full ``(features, labels)`` pair (no copy)."""
@@ -68,13 +73,16 @@ class UnlabeledDataset(Dataset):
     """Unlabeled dataset over an ``(n, d)`` feature array."""
 
     def __init__(self, features: np.ndarray):
-        self.features = np.asarray(features, dtype=np.float64)
+        self.features = np.asarray(features, dtype=get_default_dtype())
 
     def __len__(self) -> int:
         return len(self.features)
 
     def __getitem__(self, index: int) -> np.ndarray:
         return self.features[index]
+
+    def _batch_arrays(self, indices: np.ndarray) -> np.ndarray:
+        return self.features[indices]
 
     def arrays(self) -> np.ndarray:
         return self.features
@@ -88,8 +96,8 @@ class SoftLabeledDataset(Dataset):
     """
 
     def __init__(self, features: np.ndarray, soft_labels: np.ndarray):
-        features = np.asarray(features, dtype=np.float64)
-        soft_labels = np.asarray(soft_labels, dtype=np.float64)
+        features = np.asarray(features, dtype=get_default_dtype())
+        soft_labels = np.asarray(soft_labels, dtype=get_default_dtype())
         if len(features) != len(soft_labels):
             raise ValueError("features and soft_labels disagree on length")
         if soft_labels.ndim != 2:
@@ -102,6 +110,9 @@ class SoftLabeledDataset(Dataset):
 
     def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
         return self.features[index], self.soft_labels[index]
+
+    def _batch_arrays(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.features[indices], self.soft_labels[indices]
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.features, self.soft_labels
@@ -183,6 +194,18 @@ class DataLoader:
             yield batch
 
     def __iter__(self):
+        # Array-backed datasets yield whole batches by fancy indexing — the
+        # per-item Python loop below is kept for map-style datasets (Subset,
+        # ConcatDataset, user-defined).  Exact type check: a subclass that
+        # overrides __getitem__ must go through the generic path.
+        fast_batch = (self.dataset._batch_arrays
+                      if type(self.dataset) in (ArrayDataset, UnlabeledDataset,
+                                                SoftLabeledDataset)
+                      else None)
+        if fast_batch is not None:
+            for batch in self._batch_indices():
+                yield fast_batch(batch)
+            return
         for batch in self._batch_indices():
             items = [self.dataset[int(i)] for i in batch]
             first = items[0]

@@ -16,7 +16,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import init as init_module
-from .tensor import Tensor
+from .functional import linear as _fused_linear
+from .tensor import Tensor, get_default_dtype
 
 __all__ = [
     "Parameter",
@@ -126,7 +127,10 @@ class Module:
                 if own_params[name].data.shape != value.shape:
                     raise ValueError(f"shape mismatch for parameter {name!r}: "
                                      f"{own_params[name].data.shape} vs {value.shape}")
-                own_params[name].data = value.copy()
+                # Preserve the parameter's dtype so float64 checkpoints load
+                # cleanly into models built under the float32 fast mode.
+                own_params[name].data = value.astype(own_params[name].data.dtype,
+                                                     copy=True)
             elif name in own_buffers:
                 own_buffers[name][...] = value
             else:
@@ -170,10 +174,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return _fused_linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Linear({self.in_features}, {self.out_features})"
@@ -208,7 +209,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * Tensor(mask)
 
 

@@ -59,27 +59,44 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self.weight_decay = weight_decay
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        # Preallocated per-parameter work buffers so the steady-state step
+        # performs no fresh allocations: ``_step`` composes the scaled update,
+        # ``_decayed`` holds the weight-decayed gradient when needed.
+        self._step_buf: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._decayed: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
+        momentum = self.momentum
         for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
+            step_buf = self._step_buf[i]
+            if step_buf is None:
+                step_buf = self._step_buf[i] = np.empty_like(p.data)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            if self.momentum:
-                if self._velocity[i] is None:
-                    self._velocity[i] = np.zeros_like(p.data)
+                decayed = self._decayed[i]
+                if decayed is None:
+                    decayed = self._decayed[i] = np.empty_like(p.data)
+                np.multiply(p.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
+            if momentum:
                 velocity = self._velocity[i]
-                velocity *= self.momentum
+                if velocity is None:
+                    velocity = self._velocity[i] = np.zeros_like(p.data)
+                velocity *= momentum
                 velocity += grad
                 if self.nesterov:
-                    update = grad + self.momentum * velocity
+                    np.multiply(velocity, momentum, out=step_buf)
+                    step_buf += grad
+                    update = step_buf
                 else:
                     update = velocity
             else:
                 update = grad
-            p.data -= self.lr * update
+            np.multiply(update, self.lr, out=step_buf)
+            np.subtract(p.data, step_buf, out=p.data)
 
 
 class Adam(Optimizer):
@@ -98,6 +115,8 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._decayed: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._t = 0
 
     def step(self) -> None:
@@ -108,16 +127,33 @@ class Adam(Optimizer):
             if p.grad is None:
                 continue
             grad = p.grad
+            scratch = self._scratch[i]
+            if scratch is None:
+                scratch = self._scratch[i] = np.empty_like(p.data)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                decayed = self._decayed[i]
+                if decayed is None:
+                    decayed = self._decayed[i] = np.empty_like(p.data)
+                np.multiply(p.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
             if self._m[i] is None:
                 self._m[i] = np.zeros_like(p.data)
                 self._v[i] = np.zeros_like(p.data)
             m, v = self._m[i], self._v[i]
+            # All updates route through the single scratch buffer, so the
+            # steady-state step allocates nothing.
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += scratch
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += scratch
+            # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / bias1
+            np.subtract(p.data, scratch, out=p.data)

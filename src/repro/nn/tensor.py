@@ -13,14 +13,133 @@ topological sort of the graph and accumulates gradients.
 
 from __future__ import annotations
 
+import itertools
+import threading
+from contextlib import contextmanager, nullcontext
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+# --------------------------------------------------------------------------- #
+# Engine configuration: default dtype and gradient mode
+# --------------------------------------------------------------------------- #
+# The default dtype is process-global (set once before building models); the
+# gradient mode is thread-local so the parallel controller can run inference
+# in one module's thread without disturbing training in another.
+_DEFAULT_DTYPE = np.float64
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+# Engine-wide feature switches.  ``fused_ops`` lets benchmarks and gradient
+# tests fall back to the primitive-composed (seed-equivalent) implementations
+# of ``linear`` / ``cross_entropy``; ``inference_no_grad`` controls whether
+# eval-time forwards skip the backward tape.  Production code leaves both on;
+# ``seed_compat_mode`` turns both off to measure the seed engine's behavior.
+_ENGINE_FLAGS = {"fused_ops": True, "inference_no_grad": True}
+
+_GRAD_MODE = threading.local()
+
+# Monotonically increasing creation stamp.  Every tensor records the counter
+# value at construction; since an operation's output is always created after
+# its inputs, creation order is a valid topological order of any autograd
+# graph, which lets ``backward`` sort reachable nodes with a single C-level
+# sort instead of a two-phase DFS.  ``itertools.count`` is atomic in CPython,
+# so the stamp is safe under the parallel controller's threads.
+_SEQ = itertools.count()
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (``float64`` unless configured)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the engine-wide default dtype (``np.float32`` or ``np.float64``)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    _DEFAULT_DTYPE = dtype.type
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Temporarily switch the engine's default dtype (the float32 fast mode)."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
+
+
+def is_grad_enabled() -> bool:
+    return getattr(_GRAD_MODE, "enabled", True)
+
+
+@contextmanager
+def no_grad():
+    """Inference mode: operations inside record no backward tape at all.
+
+    Outputs have ``requires_grad=False`` and keep no parent references, so
+    eval-time forwards (``predict_logits``, FixMatch's pseudo-label view)
+    allocate no closures and retain no intermediate arrays.
+    """
+    previous = is_grad_enabled()
+    _GRAD_MODE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_MODE.enabled = previous
+
+
+def fused_ops_enabled() -> bool:
+    return _ENGINE_FLAGS["fused_ops"]
+
+
+def inference_no_grad_enabled() -> bool:
+    return _ENGINE_FLAGS["inference_no_grad"]
+
+
+@contextmanager
+def use_fused_ops(enabled: bool):
+    """Toggle the fused ``linear`` / cross-entropy kernels (benchmarks/tests)."""
+    previous = _ENGINE_FLAGS["fused_ops"]
+    _ENGINE_FLAGS["fused_ops"] = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENGINE_FLAGS["fused_ops"] = previous
+
+
+def inference_mode():
+    """Context for eval-time forwards: ``no_grad()`` unless the engine is in
+    seed-compat mode (where inference keeps building the tape)."""
+    if inference_no_grad_enabled():
+        return no_grad()
+    return nullcontext()
+
+
+@contextmanager
+def seed_compat_mode():
+    """Reproduce the seed engine's behavior for benchmarking baselines.
+
+    Disables the fused ops (losses and ``linear`` run as chains of primitive
+    tape nodes) and re-enables tape construction during inference, which is
+    what the seed engine did on every eval forward.
+    """
+    previous = dict(_ENGINE_FLAGS)
+    _ENGINE_FLAGS["fused_ops"] = False
+    _ENGINE_FLAGS["inference_no_grad"] = False
+    try:
+        yield
+    finally:
+        _ENGINE_FLAGS.update(previous)
+
+
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    dtype = dtype if dtype is not None else _DEFAULT_DTYPE
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
             return data.astype(dtype)
@@ -60,7 +179,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_seq", "_topo")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
@@ -69,6 +189,8 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
+        self._seq = next(_SEQ)
+        self._topo: Optional[List["Tensor"]] = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -116,7 +238,8 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        requires = (any(p.requires_grad for p in parents)
+                    and is_grad_enabled())
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -128,6 +251,20 @@ class Tensor:
             return
         if self.grad is None:
             self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient array the caller owns (no defensive copy).
+
+        Fused backward closures compute fresh arrays (``grad @ W.T`` etc.)
+        that nothing else aliases, so the copy in :meth:`_accumulate` would
+        be pure overhead.
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad
         else:
             self.grad += grad
 
@@ -371,7 +508,11 @@ class Tensor:
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode autodiff from this tensor.
 
-        ``grad`` defaults to ones (appropriate for scalar losses).
+        ``grad`` defaults to ones (appropriate for scalar losses).  The
+        reverse-topological order of the graph is derived from the tensors'
+        creation stamps (parents are always created before children) and
+        cached on this root, keyed on the graph's identity: a second
+        ``backward`` through the same graph skips the traversal entirely.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not "
@@ -379,12 +520,28 @@ class Tensor:
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = _as_array(grad)
+            grad = _as_array(grad, self.data.dtype)
 
-        order = _topological_order(self)
         self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
+        if self._backward is None:
+            return
+        nodes = self._topo
+        if nodes is None:
+            # Collect reachable op-nodes (leaves carry no backward closure and
+            # never need visiting) and order them by descending creation stamp.
+            nodes = [self]
+            seen = {id(self)}
+            pending = [self]
+            while pending:
+                for parent in pending.pop()._parents:
+                    if parent._backward is not None and id(parent) not in seen:
+                        seen.add(id(parent))
+                        nodes.append(parent)
+                        pending.append(parent)
+            nodes.sort(key=_creation_stamp, reverse=True)
+            self._topo = nodes
+        for node in nodes:
+            if node.grad is not None:
                 node._backward(node.grad)
 
     # convenience constructors -------------------------------------------------
@@ -403,24 +560,9 @@ class Tensor:
         return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
 
 
-def _topological_order(root: Tensor) -> List[Tensor]:
-    """Return tensors reachable from ``root`` in topological order (iterative)."""
-    order: List[Tensor] = []
-    visited = set()
-    stack: List[Tuple[Tensor, bool]] = [(root, False)]
-    while stack:
-        node, processed = stack.pop()
-        if processed:
-            order.append(node)
-            continue
-        if id(node) in visited:
-            continue
-        visited.add(id(node))
-        stack.append((node, True))
-        for parent in node._parents:
-            if id(parent) not in visited:
-                stack.append((parent, False))
-    return order
+def _creation_stamp(node: Tensor) -> int:
+    return node._seq
+
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

@@ -21,7 +21,7 @@ from .modules import Module
 from .optim import SGD, Adam, Optimizer
 from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, WarmupMultiStepLR)
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype, inference_mode
 from .transforms import Transform
 
 __all__ = [
@@ -100,22 +100,32 @@ def build_scheduler(optimizer: Optimizer, config: TrainConfig,
 
 
 def predict_logits(model: Module, features: np.ndarray,
-                   batch_size: int = 256) -> np.ndarray:
-    """Run the model in eval mode and return the raw logits."""
-    features = np.asarray(features, dtype=np.float64)
+                   batch_size: Optional[int] = 256) -> np.ndarray:
+    """Run the model in eval mode and return the raw logits.
+
+    Runs under :func:`~repro.nn.tensor.no_grad` (the model's parameters have
+    ``requires_grad=True``, so without it every eval forward would record a
+    full backward tape).  ``batch_size=None`` runs the whole array as a
+    single batch, which the ensemble uses for pseudo-label inference.
+    """
+    features = np.asarray(features, dtype=get_default_dtype())
     model.eval()
-    chunks: List[np.ndarray] = []
-    for start in range(0, len(features), batch_size):
-        batch = features[start:start + batch_size]
-        logits = model(Tensor(batch))
-        chunks.append(logits.data)
+    if batch_size is None:
+        batch_size = max(len(features), 1)
+
+    with inference_mode():
+        chunks: List[np.ndarray] = []
+        for start in range(0, len(features), batch_size):
+            batch = features[start:start + batch_size]
+            logits = model(Tensor(batch))
+            chunks.append(logits.data)
     if not chunks:
         return np.zeros((0, 0))
-    return np.concatenate(chunks, axis=0)
+    return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]
 
 
 def predict_proba(model: Module, features: np.ndarray,
-                  batch_size: int = 256) -> np.ndarray:
+                  batch_size: Optional[int] = 256) -> np.ndarray:
     """Softmax probabilities of the model on ``features``."""
     logits = predict_logits(model, features, batch_size=batch_size)
     if logits.size == 0:
@@ -148,7 +158,7 @@ def train_classifier(model: Module, features: np.ndarray, labels: np.ndarray,
     ``callback(epoch, mean_loss)`` is invoked after each epoch, which the
     experiment runner uses for logging.
     """
-    features = np.asarray(features, dtype=np.float64)
+    features = np.asarray(features, dtype=get_default_dtype())
     labels = np.asarray(labels, dtype=np.int64)
     if len(features) == 0:
         raise ValueError("cannot train on an empty dataset")
@@ -182,8 +192,8 @@ def train_soft_classifier(model: Module, features: np.ndarray,
                           soft_labels: np.ndarray, config: TrainConfig,
                           callback: Optional[Callable[[int, float], None]] = None) -> Module:
     """Train ``model`` with soft-target cross entropy (paper Eq. 7)."""
-    features = np.asarray(features, dtype=np.float64)
-    soft_labels = np.asarray(soft_labels, dtype=np.float64)
+    features = np.asarray(features, dtype=get_default_dtype())
+    soft_labels = np.asarray(soft_labels, dtype=get_default_dtype())
     if len(features) == 0:
         raise ValueError("cannot train on an empty dataset")
     rng = np.random.default_rng(config.seed)

@@ -24,6 +24,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from .tensor import get_default_dtype
+
 __all__ = [
     "Transform",
     "Compose",
@@ -46,7 +48,7 @@ class Transform:
 
 class IdentityTransform(Transform):
     def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        return np.asarray(batch, dtype=np.float64)
+        return np.asarray(batch, dtype=get_default_dtype())
 
 
 class Compose(Transform):
@@ -56,7 +58,7 @@ class Compose(Transform):
         self.transforms = list(transforms)
 
     def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        out = np.asarray(batch, dtype=np.float64)
+        out = np.asarray(batch, dtype=get_default_dtype())
         for transform in self.transforms:
             out = transform(out, rng)
         return out
@@ -71,10 +73,11 @@ class GaussianJitter(Transform):
         self.sigma = sigma
 
     def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        batch = np.asarray(batch, dtype=np.float64)
+        batch = np.asarray(batch, dtype=get_default_dtype())
         if self.sigma == 0:
             return batch.copy()
-        return batch + rng.normal(0.0, self.sigma, size=batch.shape)
+        noise = rng.normal(0.0, self.sigma, size=batch.shape)
+        return batch + noise.astype(batch.dtype, copy=False)
 
 
 class RandomScale(Transform):
@@ -87,9 +90,9 @@ class RandomScale(Transform):
         self.high = high
 
     def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        batch = np.asarray(batch, dtype=np.float64)
+        batch = np.asarray(batch, dtype=get_default_dtype())
         scales = rng.uniform(self.low, self.high, size=(batch.shape[0], 1))
-        return batch * scales
+        return batch * scales.astype(batch.dtype, copy=False)
 
 
 class RandomFeatureDrop(Transform):
@@ -101,7 +104,7 @@ class RandomFeatureDrop(Transform):
         self.p = p
 
     def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        batch = np.asarray(batch, dtype=np.float64)
+        batch = np.asarray(batch, dtype=get_default_dtype())
         if self.p == 0:
             return batch.copy()
         mask = rng.random(batch.shape) >= self.p
@@ -117,7 +120,7 @@ class RandomPermuteBlocks(Transform):
         self.n_blocks = n_blocks
 
     def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        batch = np.asarray(batch, dtype=np.float64)
+        batch = np.asarray(batch, dtype=get_default_dtype())
         d = batch.shape[1]
         n_blocks = min(self.n_blocks, d)
         boundaries = np.linspace(0, d, n_blocks + 1, dtype=int)

@@ -143,14 +143,37 @@ class ScadsEmbedding:
             exclude = list(exclude or []) + [KnowledgeGraph.normalize(concept_or_vector)]
         else:
             query = np.asarray(concept_or_vector, dtype=np.float64)
-        if candidates is not None:
-            subset = {c: self._vectors[c] for c in candidates if c in self._vectors}
-            if not subset:
-                return []
-            index = EmbeddingIndex(subset)
-        else:
-            index = self._index
+        index = self._candidate_index(candidates)
+        if index is None:
+            return []
         return index.top_k(query, top_k, exclude=exclude)
+
+    def related_concepts_batch(self, queries: Sequence[np.ndarray], top_k: int,
+                               candidates: Optional[Sequence[str]] = None,
+                               exclude: Optional[Sequence[str]] = None
+                               ) -> List[List[Tuple[str, float]]]:
+        """Top-k related concepts for many query vectors at once.
+
+        Builds the candidate index a single time and scores every query in
+        one ``(q, d) @ (d, n)`` matrix multiply — the batched form of the
+        per-target-class similarity queries in auxiliary-data selection.
+        """
+        queries = [np.asarray(q, dtype=np.float64) for q in queries]
+        if not queries:
+            return []
+        index = self._candidate_index(candidates)
+        if index is None:
+            return [[] for _ in queries]
+        return index.top_k_batch(np.stack(queries), top_k, exclude=exclude)
+
+    def _candidate_index(self,
+                         candidates: Optional[Sequence[str]]) -> Optional[EmbeddingIndex]:
+        if candidates is None:
+            return self._index
+        subset = {c: self._vectors[c] for c in candidates if c in self._vectors}
+        if not subset:
+            return None
+        return EmbeddingIndex(subset)
 
 
 def _common_prefix_length(a: str, b: str) -> int:

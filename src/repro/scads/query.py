@@ -118,17 +118,27 @@ def select_auxiliary_data(scads: Scads, embedding: ScadsEmbedding,
     target_concept_names = {KnowledgeGraph.normalize(c.concept)
                             for c in target_classes if c.concept}
 
-    selected_concepts: List[str] = []
+    # Resolve every target class's query vector first, then rank all of them
+    # against the candidate set in one batched similarity query (a single
+    # matrix multiply over one shared index instead of per-class queries).
+    queries: List[np.ndarray] = []
+    queried_specs: List[ClassSpec] = []
     per_target: Dict[str, List[str]] = {}
     for spec in target_classes:
         query = target_class_vector(spec, scads, embedding)
         if query is None:
             per_target[spec.name] = []
             continue
-        exclude = list(target_concept_names) if exclude_target_concepts else []
-        ranked = embedding.related_concepts(query, top_k=num_related_concepts,
-                                            candidates=candidates,
-                                            exclude=exclude)
+        queries.append(query)
+        queried_specs.append(spec)
+
+    exclude = list(target_concept_names) if exclude_target_concepts else []
+    ranked_batch = embedding.related_concepts_batch(
+        queries, top_k=num_related_concepts, candidates=candidates,
+        exclude=exclude)
+
+    selected_concepts: List[str] = []
+    for spec, ranked in zip(queried_specs, ranked_batch):
         chosen = [concept for concept, _ in ranked]
         per_target[spec.name] = chosen
         selected_concepts.extend(chosen)

@@ -1,0 +1,86 @@
+"""Packaging sanity: metadata and the NumPy-only engine contract.
+
+``repro.nn`` — the training engine every module, baseline, and the end
+model run through — must be installable with no extras: its modules may
+import only the standard library, NumPy, and ``repro.nn`` itself (no
+reaching into sibling subpackages that pull in scipy/networkx).
+``setup.py`` must carry real metadata (it used to defer to a
+``pyproject.toml`` that did not exist).
+"""
+
+import ast
+import os
+import sys
+
+import repro
+import repro.nn
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                        "src", "repro")
+NN_ROOT = os.path.join(SRC_ROOT, "nn")
+
+ALLOWED_TOP_LEVEL = {"numpy"}
+
+
+def iter_nn_source_files():
+    for dirpath, _, filenames in os.walk(NN_ROOT):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def offending_imports(path):
+    """Imports that would break a numpy-only install of ``repro.nn``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top not in ALLOWED_TOP_LEVEL and top not in STDLIB:
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level >= 2:
+                # ``from .. import X`` would reach outside repro.nn.
+                yield "." * node.level + (node.module or "")
+            elif node.level == 0 and node.module:
+                top = node.module.split(".")[0]
+                if top == "repro" and not node.module.startswith("repro.nn"):
+                    yield node.module
+                elif top != "repro" and top not in ALLOWED_TOP_LEVEL \
+                        and top not in STDLIB:
+                    yield node.module
+
+
+STDLIB = set(sys.stdlib_module_names)
+
+
+class TestExtrasFreeInstall:
+    def test_repro_nn_imports_with_numpy_only(self):
+        """repro.nn imports only stdlib, numpy, and itself."""
+        offenders = {}
+        for path in iter_nn_source_files():
+            bad = sorted(set(offending_imports(path)))
+            if bad:
+                offenders[os.path.relpath(path, SRC_ROOT)] = bad
+        assert not offenders, \
+            f"repro.nn must depend on numpy only, found: {offenders}"
+
+    def test_engine_package_is_importable(self):
+        assert hasattr(repro.nn, "Tensor")
+        assert hasattr(repro.nn, "no_grad")
+        assert hasattr(repro.nn, "set_default_dtype")
+
+
+class TestSetupMetadata:
+    def test_setup_py_declares_metadata(self):
+        setup_path = os.path.join(os.path.dirname(SRC_ROOT), os.pardir, "setup.py")
+        with open(os.path.normpath(setup_path), "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+        call = next(node for node in ast.walk(tree)
+                    if isinstance(node, ast.Call)
+                    and getattr(node.func, "id", "") == "setup")
+        keywords = {kw.arg for kw in call.keywords}
+        for required in ("name", "version", "package_dir", "packages",
+                         "python_requires", "install_requires"):
+            assert required in keywords, f"setup() missing {required!r}"
