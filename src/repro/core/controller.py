@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..nn.tensor import default_dtype
+from ..nn.tensor import default_dtype, use_graph_replay
 
 from ..distill.end_model import EndModel, EndModelConfig, train_end_model
 from ..ensemble.voting import TagletEnsemble
@@ -70,6 +70,14 @@ class ControllerConfig:
     #: worker threads; running two Controllers concurrently with *different*
     #: dtypes in one process is unsupported.
     dtype: Optional[str] = None
+    #: whole-graph capture/replay executor for every static training loop in
+    #: the run (module fine-tuning, ZSL-KG pretrain, end-model distillation):
+    #: ``None`` inherits the engine-wide flag (on by default), ``True``/
+    #: ``False`` force it for this run — mirroring ``TrainConfig.replay``.
+    #: Replayed steps are bit-identical to eager; unsupported models fall
+    #: back automatically (see docs/performance.md).  Same process-global
+    #: scope caveat as ``dtype``.
+    replay: Optional[bool] = None
     seed: int = 0
 
 
@@ -182,7 +190,9 @@ class Controller:
             raise RuntimeError("the task has no backbone; call set_initial_model()")
         dtype_scope = (default_dtype(self.config.dtype)
                        if self.config.dtype is not None else nullcontext())
-        with dtype_scope:
+        replay_scope = (use_graph_replay(self.config.replay)
+                        if self.config.replay is not None else nullcontext())
+        with dtype_scope, replay_scope:
             auxiliary = self.select_auxiliary_data(task)
             taglets = self.train_taglets(task, auxiliary)
             ensemble = TagletEnsemble(taglets)

@@ -26,10 +26,10 @@ import numpy as np
 
 from ..backbones.backbone import ClassificationModel, PretrainedBackbone
 from ..kg.graph import KnowledgeGraph
-from ..nn import functional as F
 from ..nn.modules import Linear, Module, ReLU
 from ..nn.tensor import get_default_dtype, inference_mode
 from ..nn.optim import Adam
+from ..nn.replay import GraphReplay
 from ..nn.tensor import Tensor
 from ..nn.training import predict_logits
 from ..scads.builder import ScadsBundle
@@ -174,20 +174,25 @@ class ZslKgModule(TrainingModule):
                          weight_decay=config.weight_decay)
         best_state = class_encoder.state_dict()
         best_val = float("inf")
-        train_x = Tensor(descriptions[train_idx])
-        train_y = targets[train_idx]
-        val_x = Tensor(descriptions[val_idx])
-        val_y = targets[val_idx]
+        # The pretrain loop is the engine's most static workload: the same
+        # full-batch step (plus a validation forward) repeated
+        # ``pretrain_epochs`` times.  The graph replay executor captures the
+        # training step and the validation pass once each and replays raw
+        # NumPy kernels for the remaining epochs — bit-identical to the
+        # eager loop, with the training-loss scalar elided since nothing
+        # consumes it.  Inputs are cast to the engine dtype up front so
+        # every replayed step hits the zero-copy fast path.
+        dtype = get_default_dtype()
+        train_x = descriptions[train_idx].astype(dtype)
+        train_y = targets[train_idx].astype(dtype)
+        val_x = descriptions[val_idx].astype(dtype)
+        val_y = targets[val_idx].astype(dtype)
+        stepper = GraphReplay(class_encoder, optimizer, loss="l2")
         for _ in range(config.pretrain_epochs):
             class_encoder.train()
-            predictions = class_encoder(train_x)
-            loss = F.l2_loss(predictions, train_y)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
+            stepper.step(train_x, train_y, compute_loss=False)
             class_encoder.eval()
-            with inference_mode():
-                val_loss = F.l2_loss(class_encoder(val_x), val_y).item()
+            val_loss = stepper.eval_loss(val_x, val_y)
             if val_loss < best_val:
                 best_val = val_loss
                 best_state = class_encoder.state_dict()

@@ -13,13 +13,15 @@ from .data import (ArrayDataset, ConcatDataset, DataLoader, Dataset,
 from .modules import (MLP, BatchNorm1d, Dropout, Identity, Linear, Module,
                       Parameter, ReLU, Sequential, Tanh)
 from .optim import SGD, Adam, Optimizer
+from .replay import GraphReplay, ReplayStats, ReplayUnsupported, compile_step
 from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, StepLR, WarmupMultiStepLR)
 from .serialization import (load_into_module, load_state_dict, save_module,
                             save_state_dict)
 from .tensor import (Tensor, concatenate, default_dtype, get_default_dtype,
-                     is_grad_enabled, no_grad, seed_compat_mode,
-                     set_default_dtype, stack, use_fused_ops)
+                     graph_replay_enabled, is_grad_enabled, no_grad,
+                     seed_compat_mode, set_default_dtype, stack,
+                     use_fused_ops, use_graph_replay)
 from .training import (TrainConfig, build_optimizer, build_scheduler,
                        evaluate_accuracy, iterate_forever, predict_logits,
                        predict_proba, train_classifier, train_soft_classifier)
@@ -31,6 +33,8 @@ __all__ = [
     "Tensor", "stack", "concatenate", "functional",
     "no_grad", "is_grad_enabled", "default_dtype", "get_default_dtype",
     "set_default_dtype", "use_fused_ops", "seed_compat_mode",
+    "use_graph_replay", "graph_replay_enabled",
+    "GraphReplay", "ReplayStats", "ReplayUnsupported", "compile_step",
     "Module", "Parameter", "Linear", "ReLU", "Tanh", "Identity", "Dropout",
     "BatchNorm1d", "Sequential", "MLP",
     "Optimizer", "SGD", "Adam",

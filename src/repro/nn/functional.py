@@ -16,6 +16,7 @@ from .tensor import Tensor, fused_ops_enabled, get_default_dtype
 
 __all__ = [
     "one_hot",
+    "check_label_range",
     "softmax",
     "log_softmax",
     "linear",
@@ -36,9 +37,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if num_classes <= 0:
         raise ValueError("num_classes must be positive")
-    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
-        raise ValueError("labels out of range for num_classes "
-                         f"{num_classes}: [{labels.min()}, {labels.max()}]")
+    check_label_range(labels, num_classes)
     out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
@@ -111,6 +110,18 @@ def _softmax_parts(z: np.ndarray):
     return shifted, exp, sumexp
 
 
+def check_label_range(targets: np.ndarray, num_classes: int) -> None:
+    """Reject integer labels outside ``[0, num_classes)``.
+
+    NumPy's fancy indexing would silently wrap negative labels, so both the
+    fused cross-entropy kernel and the replay executor validate explicitly
+    (matching the reference path's error behavior).
+    """
+    if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes "
+                         f"{num_classes}: [{targets.min()}, {targets.max()}]")
+
+
 def softmax_cross_entropy(logits: Tensor, targets: Union[np.ndarray, list],
                           sample_weights: Optional[np.ndarray] = None) -> Tensor:
     """Fused softmax + cross entropy with a single hand-written backward.
@@ -123,9 +134,7 @@ def softmax_cross_entropy(logits: Tensor, targets: Union[np.ndarray, list],
     targets = np.asarray(targets, dtype=np.int64)
     z = logits.data
     n = z.shape[0]
-    if targets.size and (targets.min() < 0 or targets.max() >= z.shape[1]):
-        raise ValueError("labels out of range for num_classes "
-                         f"{z.shape[1]}: [{targets.min()}, {targets.max()}]")
+    check_label_range(targets, z.shape[1])
     rows = np.arange(n)
     shifted, exp, sumexp = _softmax_parts(z)
     log_probs_picked = shifted[rows, targets] - np.log(sumexp[:, 0])

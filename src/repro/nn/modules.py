@@ -10,7 +10,9 @@ the familiar torch.nn API so the higher-level TAGLETS code reads naturally.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,9 +21,33 @@ from . import init as init_module
 from .functional import linear as _fused_linear
 from .tensor import Tensor, get_default_dtype
 
+# --------------------------------------------------------------------------- #
+# Module-call tracing (the capture phase of the graph replay executor)
+# --------------------------------------------------------------------------- #
+# While a trace is active on the current thread, every ``Module.__call__``
+# appends ``(module, input, output)`` to the recording list.  The replay
+# compiler (:mod:`repro.nn.replay`) runs one eager training step under this
+# context and reconstructs the op chain from the records.  Thread-local so
+# the parallel controller can trace one module's training loop while another
+# thread trains eagerly.
+_TRACE = threading.local()
+
+
+@contextmanager
+def trace_module_calls(records: List[Tuple["Module", Tensor, Tensor]]):
+    """Record every module call on this thread into ``records``."""
+    if getattr(_TRACE, "records", None) is not None:
+        raise RuntimeError("module-call tracing is not reentrant")
+    _TRACE.records = records
+    try:
+        yield records
+    finally:
+        _TRACE.records = None
+
 __all__ = [
     "Parameter",
     "Module",
+    "trace_module_calls",
     "Linear",
     "ReLU",
     "Tanh",
@@ -58,7 +84,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: Tensor) -> Tensor:
-        return self.forward(x)
+        out = self.forward(x)
+        records = getattr(_TRACE, "records", None)
+        if records is not None:
+            records.append((self, x, out))
+        return out
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -3,6 +3,18 @@
 The paper's training recipes (Appendix A.3) use SGD with momentum (plain and
 Nesterov) and Adam; both are implemented here against the
 :class:`repro.nn.Parameter` abstraction.
+
+Both optimizers run their elementwise update in *fused flat* form whenever
+possible: all per-parameter state (momentum/moment buffers, scratch space)
+lives in per-parameter views of one contiguous array, gradients are gathered
+into a shared flat gradient buffer, and the update math executes as a handful
+of ufunc calls over the whole flat array instead of ``O(kernels × params)``
+dispatches.  Elementwise ops over disjoint views are bit-identical to the
+per-parameter loop, which is kept as the fallback for steps where some
+parameters have no gradient (their state must not advance) or parameters mix
+dtypes.  The graph replay executor (:mod:`repro.nn.replay`) writes gradients
+directly into the flat views (:meth:`Optimizer.grad_view_for`), making the
+gather step a no-op on the replay fast path.
 """
 
 from __future__ import annotations
@@ -27,6 +39,12 @@ class Optimizer:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
         self.initial_lr = float(lr)
+        #: flat gradient buffer + per-parameter views (built lazily; None
+        #: entries until :meth:`_flat_state` runs, ``False`` when parameters
+        #: mix dtypes and flat mode is unavailable)
+        self._flat_grad: Optional[np.ndarray] = None
+        self._flat_grad_views: Optional[List[np.ndarray]] = None
+        self._flat_ok: Optional[bool] = None
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -43,6 +61,59 @@ class Optimizer:
     def state_dict(self) -> Dict[str, float]:
         return {"lr": self.lr, "initial_lr": self.initial_lr}
 
+    # ------------------------------------------------------------------ #
+    # Fused flat execution support
+    # ------------------------------------------------------------------ #
+    def _alloc_flat(self, fill: Optional[float] = None):
+        """One contiguous array covering all parameters + per-param views."""
+        dtype = self.parameters[0].data.dtype
+        total = sum(p.data.size for p in self.parameters)
+        flat = (np.empty(total, dtype=dtype) if fill is None
+                else np.full(total, fill, dtype=dtype))
+        views, offset = [], 0
+        for p in self.parameters:
+            views.append(flat[offset:offset + p.data.size].reshape(p.data.shape))
+            offset += p.data.size
+        return flat, views
+
+    def _flat_available(self) -> bool:
+        if self._flat_ok is None:
+            dtypes = {p.data.dtype for p in self.parameters}
+            self._flat_ok = len(dtypes) == 1
+            if self._flat_ok:
+                self._flat_grad, self._flat_grad_views = self._alloc_flat()
+        return self._flat_ok
+
+    def grad_view_for(self, param: Parameter) -> Optional[np.ndarray]:
+        """The flat-gradient view backing ``param``, or None.
+
+        The replay executor computes gradients straight into these views so
+        the flat update needs no gather copy.  Callers that bind the view to
+        ``param.grad`` get bit-identical behavior either way — the gather in
+        :meth:`_gather_grads` skips views that are already in place.
+        """
+        if not self._flat_available():
+            return None
+        for p, view in zip(self.parameters, self._flat_grad_views):
+            if p is param:
+                return view
+        return None
+
+    def _gather_grads(self) -> Optional[np.ndarray]:
+        """Copy every ``param.grad`` into the flat buffer (no-op per view
+        already written in place).  Returns None — demanding the per-param
+        fallback — when flat mode is unavailable or any gradient is missing
+        (those parameters' state must not advance)."""
+        if not self._flat_available():
+            return None
+        grads = [p.grad for p in self.parameters]
+        if any(g is None for g in grads):
+            return None
+        for g, view in zip(grads, self._flat_grad_views):
+            if g is not view:
+                np.copyto(view, g)
+        return self._flat_grad
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum, Nesterov and weight decay."""
@@ -58,36 +129,80 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.nesterov = nesterov
         self.weight_decay = weight_decay
+        # Per-parameter state and work buffers; allocated on first use as
+        # views of flat arrays when possible (see module docstring), as
+        # standalone arrays otherwise.  ``_step_buf`` composes the scaled
+        # update, ``_decayed`` holds the weight-decayed gradient.
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
-        # Preallocated per-parameter work buffers so the steady-state step
-        # performs no fresh allocations: ``_step`` composes the scaled update,
-        # ``_decayed`` holds the weight-decayed gradient when needed.
         self._step_buf: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._decayed: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._velocity_flat: Optional[np.ndarray] = None
+        self._step_flat: Optional[np.ndarray] = None
+        self._decayed_flat: Optional[np.ndarray] = None
+        self._materialized = False
+
+    def _materialize(self) -> None:
+        self._materialized = True
+        if self._flat_available():
+            self._velocity_flat, self._velocity = self._alloc_flat(fill=0.0)
+            self._step_flat, self._step_buf = self._alloc_flat()
+            if self.weight_decay:
+                self._decayed_flat, self._decayed = self._alloc_flat()
+        else:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+            self._step_buf = [np.empty_like(p.data) for p in self.parameters]
+            if self.weight_decay:
+                self._decayed = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        if not self._materialized:
+            self._materialize()
         momentum = self.momentum
+        lr = self.lr
+        weight_decay = self.weight_decay
+        grad_flat = self._gather_grads()
+        if grad_flat is not None:
+            # Fused flat path: a handful of whole-buffer ufunc calls.
+            if weight_decay:
+                decayed = self._decayed_flat
+                for p, view in zip(self.parameters, self._decayed):
+                    np.multiply(p.data, weight_decay, out=view)
+                decayed += grad_flat
+                grad_flat = decayed
+            if momentum:
+                velocity = self._velocity_flat
+                velocity *= momentum
+                velocity += grad_flat
+                if self.nesterov:
+                    np.multiply(velocity, momentum, out=self._step_flat)
+                    self._step_flat += grad_flat
+                    update = self._step_flat
+                else:
+                    update = velocity
+            else:
+                update = grad_flat
+            np.multiply(update, lr, out=self._step_flat)
+            for p, view in zip(self.parameters, self._step_buf):
+                np.subtract(p.data, view, out=p.data)
+            return
+        # Per-parameter fallback (some gradients missing or mixed dtypes);
+        # operates on the same state buffers/views as the flat path.
+        nesterov = self.nesterov
         for i, p in enumerate(self.parameters):
-            if p.grad is None:
-                continue
             grad = p.grad
+            if grad is None:
+                continue
             step_buf = self._step_buf[i]
-            if step_buf is None:
-                step_buf = self._step_buf[i] = np.empty_like(p.data)
-            if self.weight_decay:
+            if weight_decay:
                 decayed = self._decayed[i]
-                if decayed is None:
-                    decayed = self._decayed[i] = np.empty_like(p.data)
-                np.multiply(p.data, self.weight_decay, out=decayed)
+                np.multiply(p.data, weight_decay, out=decayed)
                 decayed += grad
                 grad = decayed
             if momentum:
                 velocity = self._velocity[i]
-                if velocity is None:
-                    velocity = self._velocity[i] = np.zeros_like(p.data)
                 velocity *= momentum
                 velocity += grad
-                if self.nesterov:
+                if nesterov:
                     np.multiply(velocity, momentum, out=step_buf)
                     step_buf += grad
                     update = step_buf
@@ -95,7 +210,7 @@ class SGD(Optimizer):
                     update = velocity
             else:
                 update = grad
-            np.multiply(update, self.lr, out=step_buf)
+            np.multiply(update, lr, out=step_buf)
             np.subtract(p.data, step_buf, out=p.data)
 
 
@@ -117,43 +232,87 @@ class Adam(Optimizer):
         self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._decayed: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._m_flat: Optional[np.ndarray] = None
+        self._v_flat: Optional[np.ndarray] = None
+        self._scratch_flat: Optional[np.ndarray] = None
+        self._decayed_flat: Optional[np.ndarray] = None
+        self._materialized = False
         self._t = 0
 
-    def step(self) -> None:
-        self._t += 1
-        bias1 = 1.0 - self.beta1 ** self._t
-        bias2 = 1.0 - self.beta2 ** self._t
-        for i, p in enumerate(self.parameters):
-            if p.grad is None:
-                continue
-            grad = p.grad
-            scratch = self._scratch[i]
-            if scratch is None:
-                scratch = self._scratch[i] = np.empty_like(p.data)
+    def _materialize(self) -> None:
+        self._materialized = True
+        if self._flat_available():
+            self._m_flat, self._m = self._alloc_flat(fill=0.0)
+            self._v_flat, self._v = self._alloc_flat(fill=0.0)
+            self._scratch_flat, self._scratch = self._alloc_flat()
             if self.weight_decay:
-                decayed = self._decayed[i]
-                if decayed is None:
-                    decayed = self._decayed[i] = np.empty_like(p.data)
-                np.multiply(p.data, self.weight_decay, out=decayed)
-                decayed += grad
-                grad = decayed
-            if self._m[i] is None:
-                self._m[i] = np.zeros_like(p.data)
-                self._v[i] = np.zeros_like(p.data)
-            m, v = self._m[i], self._v[i]
-            # All updates route through the single scratch buffer, so the
-            # steady-state step allocates nothing.
-            np.multiply(grad, 1.0 - self.beta1, out=scratch)
-            m *= self.beta1
+                self._decayed_flat, self._decayed = self._alloc_flat()
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.parameters]
+            self._v = [np.zeros_like(p.data) for p in self.parameters]
+            self._scratch = [np.empty_like(p.data) for p in self.parameters]
+            if self.weight_decay:
+                self._decayed = [np.empty_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        if not self._materialized:
+            self._materialize()
+        self._t += 1
+        beta1, beta2 = self.beta1, self.beta2
+        one_minus_beta1 = 1.0 - beta1
+        one_minus_beta2 = 1.0 - beta2
+        bias1 = 1.0 - beta1 ** self._t
+        bias2 = 1.0 - beta2 ** self._t
+        weight_decay = self.weight_decay
+        eps = self.eps
+        lr_over_bias1 = self.lr / bias1
+        grad_flat = self._gather_grads()
+        if grad_flat is not None:
+            # Fused flat path: the whole update is ~11 ufunc calls total.
+            if weight_decay:
+                for p, view in zip(self.parameters, self._decayed):
+                    np.multiply(p.data, weight_decay, out=view)
+                self._decayed_flat += grad_flat
+                grad_flat = self._decayed_flat
+            m, v, scratch = self._m_flat, self._v_flat, self._scratch_flat
+            np.multiply(grad_flat, one_minus_beta1, out=scratch)
+            m *= beta1
             m += scratch
-            np.multiply(grad, grad, out=scratch)
-            scratch *= 1.0 - self.beta2
-            v *= self.beta2
+            np.multiply(grad_flat, grad_flat, out=scratch)
+            scratch *= one_minus_beta2
+            v *= beta2
             v += scratch
             # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
             np.divide(v, bias2, out=scratch)
             np.sqrt(scratch, out=scratch)
-            scratch += self.eps
+            scratch += eps
             np.divide(m, scratch, out=scratch)
-            scratch *= self.lr / bias1
+            scratch *= lr_over_bias1
+            for p, view in zip(self.parameters, self._scratch):
+                np.subtract(p.data, view, out=p.data)
+            return
+        # Per-parameter fallback on the same state buffers/views.
+        for i, p in enumerate(self.parameters):
+            grad = p.grad
+            if grad is None:
+                continue
+            scratch = self._scratch[i]
+            if weight_decay:
+                decayed = self._decayed[i]
+                np.multiply(p.data, weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
+            m, v = self._m[i], self._v[i]
+            np.multiply(grad, one_minus_beta1, out=scratch)
+            m *= beta1
+            m += scratch
+            np.multiply(grad, grad, out=scratch)
+            scratch *= one_minus_beta2
+            v *= beta2
+            v += scratch
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= lr_over_bias1
             np.subtract(p.data, scratch, out=p.data)

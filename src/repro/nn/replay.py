@@ -1,0 +1,716 @@
+"""Whole-graph capture/replay executor for static training loops.
+
+The eager engine rebuilds the autograd tape on every training step: each op
+allocates a :class:`~repro.nn.Tensor`, a backward closure, and fresh gradient
+arrays, and ``backward`` re-walks the graph.  For the training loops in this
+reproduction the graph shape never changes between steps — same model, same
+loss, same batch shape — so all of that per-step Python work is redundant.
+
+:class:`GraphReplay` removes it.  The first time a step signature is seen it
+runs the ordinary eager step while *tracing* module calls (a thread-local
+hook in :meth:`Module.__call__` records ``(module, input, output)``).  The
+trace is validated to be a linear chain of supported leaf layers feeding one
+of the fused losses, then compiled into a plan of raw NumPy kernels bound to
+preallocated intermediate and gradient buffers.  Every later step with the
+same signature replays those kernels against the rebound input batch: no
+tensors, no closures, no tape, no topological sort, and no allocation beyond
+what NumPy's kernels need internally.  The arithmetic is kernel-for-kernel
+identical to the fused eager path, so replayed training is bit-identical to
+eager training (asserted by ``tests/nn/test_replay.py``).
+
+Fallback rules (checked on *every* step, before replaying):
+
+* replay disabled (``TrainConfig.replay=False``, ``use_graph_replay(False)``,
+  or ``seed_compat_mode()``), fused ops disabled, or gradients disabled
+  → eager step;
+* batch shape/dtype or target shape/dtype changed → separate plan per
+  signature (the capture step for a new signature runs eagerly);
+* model structure changed — layer added/removed/replaced, parameter shape,
+  dtype or ``requires_grad`` changed, a dropout layer's mode flipped, the
+  optimizer's parameter list changed → recapture (an eager step) under the
+  new signature; stale plans are never replayed;
+* unsupported structure (a non-chain graph, an unknown layer type such as
+  ``BatchNorm1d`` in the trace, mixed dtypes, custom tensor math in a
+  ``forward``) → the signature is marked unsupported and every step with it
+  runs eagerly.
+
+Supported leaf layers: ``Linear`` (2-D fused path), ``ReLU``, ``Tanh``,
+``Identity``, and ``Dropout`` (in eval mode it is a no-op; in training mode
+the mask is drawn from the layer's own RNG exactly as the eager forward
+does, so the RNG stream stays aligned).  Supported losses: the fused
+``cross_entropy`` (hard targets), ``soft_cross_entropy``, and the fused
+``l2_loss`` used by the ZSL-KG pretrain.  Optimizer updates reuse
+``optimizer.step()`` itself — gradients are written into preallocated
+buffers and bound to ``param.grad``, so SGD momentum and Adam state evolve
+exactly as in eager mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .modules import (Dropout, Identity, Linear, Module, ReLU, Tanh,
+                      trace_module_calls)
+from .optim import Optimizer
+from .tensor import (Tensor, fused_ops_enabled, graph_replay_enabled,
+                     inference_mode, is_grad_enabled)
+
+__all__ = ["GraphReplay", "ReplayStats", "ReplayUnsupported", "compile_step"]
+
+
+class ReplayUnsupported(RuntimeError):
+    """Raised during capture when a traced step cannot be compiled."""
+
+
+_LOSS_FNS: Dict[str, Callable] = {
+    "cross_entropy": F.cross_entropy,
+    "soft_cross_entropy": F.soft_cross_entropy,
+    "l2": F.l2_loss,
+}
+
+# Leaf layer types the compiler knows how to replay.  Anything else that
+# shows up in the traced chain breaks the input/output identity check and
+# the signature is marked unsupported.
+_LEAF_TYPES = (Linear, ReLU, Tanh, Identity, Dropout)
+
+
+# --------------------------------------------------------------------------- #
+# Compiled layer steps
+# --------------------------------------------------------------------------- #
+# Each step owns its preallocated output / gradient buffers and reads layer
+# parameters through the live module attribute (``layer.weight.data``), so
+# in-place parameter updates and ``load_state_dict`` swaps are picked up
+# without recompiling.
+
+
+class _LinearStep:
+    __slots__ = ("layer", "out", "gin", "gw", "gb", "need_input_grad", "x")
+
+    def __init__(self, layer: Linear, inp: np.ndarray, out: np.ndarray,
+                 need_input_grad: bool, optimizer: Optional[Optimizer],
+                 train: bool):
+        self.layer = layer
+        self.out = np.empty_like(out)
+        self.need_input_grad = need_input_grad
+        self.gin = np.empty_like(inp) if need_input_grad else None
+        # Parameter gradients go straight into the optimizer's flat-gradient
+        # views when available, so the fused flat optimizer update needs no
+        # gather copy (standalone buffers otherwise).  Eval plans never run
+        # a backward and allocate no gradient buffers at all.
+        self.gw = None
+        if train and layer.weight.requires_grad:
+            self.gw = (optimizer.grad_view_for(layer.weight)
+                       if optimizer is not None else None)
+            if self.gw is None:
+                self.gw = np.empty_like(layer.weight.data)
+        self.gb = None
+        if train and layer.bias is not None and layer.bias.requires_grad:
+            self.gb = (optimizer.grad_view_for(layer.bias)
+                       if optimizer is not None else None)
+            if self.gb is None:
+                self.gb = np.empty_like(layer.bias.data)
+        self.x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.x = x
+        layer = self.layer
+        out = self.out
+        np.matmul(x, layer.weight.data, out=out)
+        if layer.bias is not None:
+            out += layer.bias.data
+        return out
+
+    def backward(self, grad: np.ndarray) -> Optional[np.ndarray]:
+        layer = self.layer
+        if self.gw is not None:
+            np.matmul(self.x.T, grad, out=self.gw)
+            layer.weight.grad = self.gw
+        if self.gb is not None:
+            # ndarray.sum lowers to add.reduce; call it directly to skip
+            # the np.sum dispatch layer (hot path: once per linear per step).
+            np.add.reduce(grad, axis=0, out=self.gb)
+            layer.bias.grad = self.gb
+        if self.need_input_grad:
+            np.matmul(grad, layer.weight.data.T, out=self.gin)
+            return self.gin
+        return None
+
+
+class _ReLUStep:
+    __slots__ = ("mask", "out", "gin", "need_input_grad")
+
+    def __init__(self, inp: np.ndarray, out: np.ndarray, need_input_grad: bool):
+        self.mask = np.empty(inp.shape, dtype=bool)
+        self.out = np.empty_like(out)
+        self.need_input_grad = need_input_grad
+        self.gin = np.empty_like(inp) if need_input_grad else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        np.greater(x, 0, out=self.mask)
+        np.multiply(x, self.mask, out=self.out)
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> Optional[np.ndarray]:
+        if not self.need_input_grad:
+            return None
+        np.multiply(grad, self.mask, out=self.gin)
+        return self.gin
+
+
+class _TanhStep:
+    __slots__ = ("out", "tmp", "gin", "need_input_grad")
+
+    def __init__(self, inp: np.ndarray, out: np.ndarray, need_input_grad: bool):
+        self.out = np.empty_like(out)
+        self.need_input_grad = need_input_grad
+        self.tmp = np.empty_like(out) if need_input_grad else None
+        self.gin = np.empty_like(inp) if need_input_grad else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        np.tanh(x, out=self.out)
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> Optional[np.ndarray]:
+        if not self.need_input_grad:
+            return None
+        # Eager computes ``grad * (1 - out ** 2)``; ``out ** 2`` lowers to
+        # an elementwise square, which np.square reproduces bit-for-bit.
+        np.square(self.out, out=self.tmp)
+        np.subtract(1.0, self.tmp, out=self.tmp)
+        np.multiply(grad, self.tmp, out=self.gin)
+        return self.gin
+
+
+class _DropoutStep:
+    __slots__ = ("layer", "mask", "out", "gin", "need_input_grad")
+
+    def __init__(self, layer: Dropout, inp: np.ndarray, out: np.ndarray,
+                 need_input_grad: bool):
+        self.layer = layer
+        self.mask: Optional[np.ndarray] = None
+        self.out = np.empty_like(out)
+        self.need_input_grad = need_input_grad
+        self.gin = np.empty_like(inp) if need_input_grad else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        keep = 1.0 - layer.p
+        # Draw from the layer's own RNG with the exact expression the eager
+        # forward uses, keeping the RNG stream aligned with eager training.
+        self.mask = (layer._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        np.multiply(x, self.mask, out=self.out)
+        return self.out
+
+    def backward(self, grad: np.ndarray) -> Optional[np.ndarray]:
+        if not self.need_input_grad:
+            return None
+        np.multiply(grad, self.mask, out=self.gin)
+        return self.gin
+
+
+# --------------------------------------------------------------------------- #
+# Compiled loss kernels
+# --------------------------------------------------------------------------- #
+
+
+class _HardCrossEntropyLoss:
+    """Fused softmax + hard cross entropy (matches ``softmax_cross_entropy``)."""
+
+    __slots__ = ("rows", "maxbuf", "shifted", "exp", "sumexp", "logbuf", "d",
+                 "denom", "num_classes", "targets")
+
+    def __init__(self, logits: np.ndarray):
+        n, c = logits.shape
+        dtype = logits.dtype
+        self.rows = np.arange(n)
+        self.maxbuf = np.empty((n, 1), dtype=dtype)
+        self.shifted = np.empty((n, c), dtype=dtype)
+        self.exp = np.empty((n, c), dtype=dtype)
+        self.sumexp = np.empty((n, 1), dtype=dtype)
+        self.logbuf = np.empty(n, dtype=dtype)
+        self.d = np.empty((n, c), dtype=dtype)
+        self.denom = float(n)
+        self.num_classes = c
+        self.targets: Optional[np.ndarray] = None
+
+    def check(self, targets: np.ndarray) -> bool:
+        return (targets.ndim == 1 and len(targets) == len(self.rows)
+                and targets.dtype.kind in "iu")
+
+    def forward(self, z: np.ndarray, targets: np.ndarray,
+                need_value: bool = True) -> Optional[float]:
+        targets = np.asarray(targets, dtype=np.int64)
+        F.check_label_range(targets, self.num_classes)
+        self.targets = targets
+        np.maximum.reduce(z, axis=1, keepdims=True, out=self.maxbuf)
+        np.subtract(z, self.maxbuf, out=self.shifted)
+        np.exp(self.shifted, out=self.exp)
+        np.add.reduce(self.exp, axis=1, keepdims=True, out=self.sumexp)
+        if not need_value:
+            # The backward needs only exp/sumexp; the scalar is elided when
+            # the caller does not consume it.
+            return None
+        np.log(self.sumexp[:, 0], out=self.logbuf)
+        picked = self.shifted[self.rows, targets]
+        picked -= self.logbuf
+        return -float(picked.sum()) / self.denom
+
+    def backward(self) -> np.ndarray:
+        d = self.d
+        np.divide(self.exp, self.sumexp, out=d)
+        d[self.rows, self.targets] -= 1.0
+        d *= 1.0 / self.denom
+        return d
+
+
+class _SoftCrossEntropyLoss:
+    """Fused soft-target cross entropy (matches ``soft_cross_entropy``)."""
+
+    __slots__ = ("maxbuf", "shifted", "exp", "sumexp", "logbuf", "prod",
+                 "tsum", "d", "denom", "shape", "dtype", "targets")
+
+    def __init__(self, logits: np.ndarray):
+        n, c = logits.shape
+        dtype = logits.dtype
+        self.maxbuf = np.empty((n, 1), dtype=dtype)
+        self.shifted = np.empty((n, c), dtype=dtype)
+        self.exp = np.empty((n, c), dtype=dtype)
+        self.sumexp = np.empty((n, 1), dtype=dtype)
+        self.logbuf = np.empty((n, 1), dtype=dtype)
+        self.prod = np.empty((n, c), dtype=dtype)
+        self.tsum = np.empty((n, 1), dtype=dtype)
+        self.d = np.empty((n, c), dtype=dtype)
+        self.denom = float(n)
+        self.shape = (n, c)
+        self.dtype = dtype
+        self.targets: Optional[np.ndarray] = None
+
+    def check(self, targets: np.ndarray) -> bool:
+        return targets.shape == self.shape
+
+    def forward(self, z: np.ndarray, targets: np.ndarray,
+                need_value: bool = True) -> Optional[float]:
+        targets = np.asarray(targets, dtype=self.dtype)
+        self.targets = targets
+        np.maximum.reduce(z, axis=1, keepdims=True, out=self.maxbuf)
+        np.subtract(z, self.maxbuf, out=self.shifted)
+        np.exp(self.shifted, out=self.exp)
+        np.add.reduce(self.exp, axis=1, keepdims=True, out=self.sumexp)
+        if not need_value:
+            return None
+        np.log(self.sumexp, out=self.logbuf)
+        # log_probs = shifted - log(sumexp); loss = -sum(t * log_probs)/n
+        np.subtract(self.shifted, self.logbuf, out=self.prod)
+        np.multiply(self.prod, targets, out=self.prod)
+        return -float(self.prod.sum()) / self.denom
+
+    def backward(self) -> np.ndarray:
+        d = self.d
+        np.divide(self.exp, self.sumexp, out=d)
+        np.add.reduce(self.targets, axis=1, keepdims=True, out=self.tsum)
+        d *= self.tsum
+        d -= self.targets
+        d *= 1.0 / self.denom
+        return d
+
+
+class _L2Loss:
+    """Fused mean squared L2 row distance (matches the fused ``l2_loss``)."""
+
+    __slots__ = ("diff", "sq", "d", "denom", "shape", "dtype")
+
+    def __init__(self, predictions: np.ndarray):
+        self.diff = np.empty_like(predictions)
+        self.sq = np.empty_like(predictions)
+        self.d = np.empty_like(predictions)
+        self.denom = float(max(predictions.size // predictions.shape[-1], 1))
+        self.shape = predictions.shape
+        self.dtype = predictions.dtype
+
+    def check(self, targets: np.ndarray) -> bool:
+        return (targets.shape == self.shape
+                and np.asarray(targets).dtype == self.dtype)
+
+    def forward(self, pred: np.ndarray, targets: np.ndarray,
+                need_value: bool = True) -> Optional[float]:
+        np.subtract(pred, targets, out=self.diff)
+        if not need_value:
+            return None
+        np.multiply(self.diff, self.diff, out=self.sq)
+        return float(self.sq.sum()) / self.denom
+
+    def backward(self) -> np.ndarray:
+        np.multiply(self.diff, 2.0 * 1.0 / self.denom, out=self.d)
+        return self.d
+
+
+_LOSS_COMPILERS = {
+    "cross_entropy": _HardCrossEntropyLoss,
+    "soft_cross_entropy": _SoftCrossEntropyLoss,
+    "l2": _L2Loss,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Structural fingerprint (the per-step signature guard)
+# --------------------------------------------------------------------------- #
+
+
+def _model_fingerprint(module: Module, out: Optional[list] = None) -> tuple:
+    """A cheap structural identity of the model, rebuilt on every step.
+
+    Captures everything a compiled plan depends on: the identity and type of
+    every submodule in attribute order, parameter shapes/dtypes and
+    ``requires_grad`` flags for ``Linear`` layers, and mode/probability for
+    ``Dropout`` (whose replay behavior depends on them).  Any mutation —
+    adding a layer, replacing a head, freezing a parameter, flipping a
+    dropout to train mode — changes the fingerprint and forces a recapture.
+    """
+    root = out is None
+    if root:
+        out = []
+    t = type(module)
+    if t is Linear:
+        w = module.weight
+        b = module.bias
+        out.append((id(module), t, id(w), w.data.shape, w.data.dtype,
+                    w.requires_grad,
+                    None if b is None else (id(b), b.data.shape, b.data.dtype,
+                                            b.requires_grad)))
+    elif t is Dropout:
+        out.append((id(module), t, module.p, module.training))
+    else:
+        out.append((id(module), t))
+    for value in vars(module).values():
+        if isinstance(value, Module):
+            _model_fingerprint(value, out)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Module):
+                    _model_fingerprint(item, out)
+    return tuple(out) if root else ()
+
+
+# --------------------------------------------------------------------------- #
+# The compiled plan
+# --------------------------------------------------------------------------- #
+
+
+class _CompiledStep:
+    __slots__ = ("steps", "loss", "optimizer", "in_dtype", "_forwards",
+                 "_backwards")
+
+    def __init__(self, steps: List, loss, optimizer: Optional[Optimizer],
+                 in_dtype: np.dtype):
+        self.steps = steps
+        self.loss = loss
+        self.optimizer = optimizer
+        self.in_dtype = in_dtype
+        # Prebound kernel methods: the replay loop is pure C-call dispatch.
+        self._forwards = [step.forward for step in steps]
+        self._backwards = [step.backward for step in reversed(steps)]
+
+    def run(self, x: np.ndarray, y: np.ndarray,
+            need_value: bool = True) -> Optional[float]:
+        if x.dtype != self.in_dtype:
+            # The eager path casts through ``Tensor(x)``; match it.
+            x = x.astype(self.in_dtype)
+        a = x
+        for forward in self._forwards:
+            a = forward(a)
+        loss = self.loss.forward(a, y, need_value)
+        grad = self.loss.backward()
+        for backward in self._backwards:
+            grad = backward(grad)
+            if grad is None:
+                break
+        self.optimizer.step()
+        return loss
+
+    def run_eval(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Forward + loss value only (the compiled inference pass)."""
+        if x.dtype != self.in_dtype:
+            x = x.astype(self.in_dtype)
+        a = x
+        for forward in self._forwards:
+            a = forward(a)
+        return self.loss.forward(a, y)
+
+
+_STEP_COMPILERS = {
+    Linear: _LinearStep,
+    ReLU: _ReLUStep,
+    Tanh: _TanhStep,
+}
+
+
+def _compile_plan(records: List[Tuple[Module, Tensor, Tensor]],
+                  model_input: Tensor, model_output: Tensor, loss_kind: str,
+                  optimizer: Optional[Optimizer], targets: np.ndarray,
+                  train: bool = True) -> _CompiledStep:
+    """Build a replay plan from one traced eager forward, or raise
+    :class:`ReplayUnsupported`."""
+    leaf_records = [r for r in records if type(r[0]) in _LEAF_TYPES]
+    in_dtype = model_input.data.dtype
+    steps: List = []
+    current = model_input
+    seen_layers = set()
+    for layer, inp, out in leaf_records:
+        if inp is not current:
+            raise ReplayUnsupported(
+                f"traced graph is not a linear chain at {type(layer).__name__}")
+        if id(layer) in seen_layers:
+            # A layer applied twice (weight sharing) accumulates gradients
+            # in eager mode; the plan's one-buffer-per-step layout cannot
+            # express that, so fall back to eager.
+            raise ReplayUnsupported(
+                f"{type(layer).__name__} appears twice in the traced chain")
+        seen_layers.add(id(layer))
+        if out is inp:
+            # Identity / eval-mode dropout: forward returned its input.
+            continue
+        if out.data.dtype != in_dtype or inp.data.dtype != in_dtype:
+            raise ReplayUnsupported("mixed dtypes in the traced graph")
+        t = type(layer)
+        need_input_grad = bool(inp.requires_grad)
+        if t is Linear:
+            if inp.ndim != 2:
+                raise ReplayUnsupported("only the 2-D fused linear path "
+                                        "is replayable")
+            steps.append(_LinearStep(layer, inp.data, out.data,
+                                     need_input_grad, optimizer, train))
+        elif t is Dropout:
+            steps.append(_DropoutStep(layer, inp.data, out.data,
+                                      need_input_grad))
+        elif t in _STEP_COMPILERS:
+            steps.append(_STEP_COMPILERS[t](inp.data, out.data,
+                                            need_input_grad))
+        else:  # pragma: no cover - _LEAF_TYPES and compilers are in sync
+            raise ReplayUnsupported(f"no replay kernel for {t.__name__}")
+        current = out
+    if current is not model_output:
+        raise ReplayUnsupported("model output is not the last traced leaf "
+                                "output (custom tensor math in forward?)")
+    if not steps:
+        raise ReplayUnsupported("traced graph contains no replayable ops")
+    if model_output.ndim != 2:
+        raise ReplayUnsupported("losses replay on 2-D outputs only")
+
+    loss = _LOSS_COMPILERS[loss_kind](model_output.data)
+    if not loss.check(np.asarray(targets)):
+        raise ReplayUnsupported("targets incompatible with the fused loss")
+    return _CompiledStep(steps, loss, optimizer, in_dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Public executor
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ReplayStats:
+    """Counters exposed for tests and diagnostics."""
+
+    captures: int = 0
+    replays: int = 0
+    eager_steps: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.captures + self.replays + self.eager_steps
+
+
+class _UnsupportedPlan:
+    """Negative cache entry: this signature cannot be compiled.
+
+    Pins the traced modules so their ids (which participate in the
+    signature) cannot be recycled for different modules while the entry
+    lives.
+    """
+
+    __slots__ = ("pins",)
+
+    def __init__(self, pins):
+        self.pins = pins
+
+
+#: plans cached per executor; beyond this many distinct signatures the
+#: executor stops compiling and runs eager (a shape-churning workload would
+#: otherwise accumulate buffers without ever amortizing a capture)
+_MAX_PLANS = 16
+
+
+class GraphReplay:
+    """Capture/replay stepper for one ``(model, loss, optimizer)`` loop.
+
+    ``step(x, y)`` performs one full training step — forward, loss, backward,
+    optimizer update — and returns the loss as a float.  The first step for
+    each signature runs eagerly (tracing the graph); subsequent steps replay
+    compiled NumPy kernels.  Every fallback rule in the module docstring is
+    re-checked per step, so the executor is always safe to leave on.
+
+    The learning-rate schedule lives outside: callers keep invoking
+    ``scheduler.step()`` before each ``step`` exactly as in the eager loop
+    (the replayed update reads ``optimizer.lr`` live).
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 loss: str = "cross_entropy",
+                 enabled: Optional[bool] = None):
+        if loss not in _LOSS_FNS:
+            raise ValueError(f"unknown replay loss {loss!r}; "
+                             f"known: {sorted(_LOSS_FNS)}")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_kind = loss
+        self._loss_fn = _LOSS_FNS[loss]
+        self._enabled = enabled
+        self._plans: Dict[tuple, object] = {}
+        self._last_sig: Optional[tuple] = None
+        self._last_plan: Optional[_CompiledStep] = None
+        self.stats = ReplayStats()
+
+    # -- eager reference step ------------------------------------------- #
+    def _eager_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.stats.eager_steps += 1
+        logits = self.model(Tensor(x))
+        loss = self._loss_fn(logits, y)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    # -- capture -------------------------------------------------------- #
+    def _traced_step(self, x: np.ndarray,
+                     y: np.ndarray) -> Tuple[Optional[_CompiledStep], list, float]:
+        """Run one eager step with the module-call tracer on.
+
+        The step always completes eagerly — including when compilation
+        fails — so the capture step is indistinguishable from a plain eager
+        step (same updates, same RNG draws, and ``zero_grad`` clears any
+        stale gradient state before buffer-bound gradients take over).
+        Returns ``(plan_or_None, traced_modules, loss)``.
+        """
+        records: List[Tuple[Module, Tensor, Tensor]] = []
+        x_t = Tensor(x)
+        with trace_module_calls(records):
+            logits = self.model(x_t)
+        try:
+            plan = _compile_plan(records, x_t, logits, self.loss_kind,
+                                 self.optimizer, y)
+        except ReplayUnsupported:
+            plan = None
+        loss = self._loss_fn(logits, y)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return plan, [r[0] for r in records], loss.item()
+
+    def _traced_eval(self, x: np.ndarray,
+                     y: np.ndarray) -> Tuple[Optional[_CompiledStep], list, float]:
+        """Eager inference pass (tape-free) with the tracer on."""
+        records: List[Tuple[Module, Tensor, Tensor]] = []
+        with inference_mode():
+            x_t = Tensor(x)
+            with trace_module_calls(records):
+                out = self.model(x_t)
+            try:
+                plan = _compile_plan(records, x_t, out, self.loss_kind,
+                                     None, y, train=False)
+            except ReplayUnsupported:
+                plan = None
+            loss = self._loss_fn(out, y).item()
+        return plan, [r[0] for r in records], loss
+
+    def _signature(self, x: np.ndarray, y: np.ndarray) -> tuple:
+        return (x.shape, x.dtype, y.shape, y.dtype,
+                tuple(id(p) for p in self.optimizer.parameters),
+                _model_fingerprint(self.model))
+
+    # -- the step ------------------------------------------------------- #
+    def step(self, x: np.ndarray, y: np.ndarray,
+             compute_loss: bool = True) -> Optional[float]:
+        """One training step (forward, loss, backward, optimizer update).
+
+        With ``compute_loss=False`` a replayed step elides materializing the
+        loss scalar (the gradient does not depend on it) and returns None —
+        used by loops that discard the training loss, like the ZSL-KG
+        pretrain.  Eager/capture steps still compute and return it.
+        """
+        enabled = (self._enabled if self._enabled is not None
+                   else graph_replay_enabled())
+        if not (enabled and fused_ops_enabled() and is_grad_enabled()):
+            return self._eager_step(x, y)
+        x = np.asarray(x)
+        y = np.asarray(y)
+        sig = self._signature(x, y)
+        if sig == self._last_sig:
+            plan = self._last_plan
+        else:
+            plan = self._plans.get(sig)
+            if plan is None:
+                if len(self._plans) >= _MAX_PLANS:
+                    return self._eager_step(x, y)
+                plan, modules, loss = self._traced_step(x, y)
+                if plan is None:
+                    self._plans[sig] = _UnsupportedPlan(modules)
+                    self.stats.eager_steps += 1
+                else:
+                    self._plans[sig] = plan
+                    self._last_sig, self._last_plan = sig, plan
+                    self.stats.captures += 1
+                return loss
+            if isinstance(plan, _UnsupportedPlan):
+                return self._eager_step(x, y)
+            self._last_sig, self._last_plan = sig, plan
+        self.stats.replays += 1
+        return plan.run(x, y, compute_loss)
+
+    # -- compiled inference --------------------------------------------- #
+    def _eager_eval(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.stats.eager_steps += 1
+        with inference_mode():
+            return self._loss_fn(self.model(Tensor(x)), y).item()
+
+    def eval_loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Loss of the model on ``(x, y)`` via a compiled inference pass.
+
+        The tape-free equivalent of ``loss_fn(model(Tensor(x)), y).item()``
+        under :func:`~repro.nn.tensor.inference_mode`, replayed through
+        forward-only kernels.  Same signature guards and eager fallback as
+        :meth:`step`; separate plans, so train/eval batch shapes coexist.
+        """
+        enabled = (self._enabled if self._enabled is not None
+                   else graph_replay_enabled())
+        if not (enabled and fused_ops_enabled()):
+            return self._eager_eval(x, y)
+        x = np.asarray(x)
+        y = np.asarray(y)
+        sig = ("eval",) + self._signature(x, y)
+        plan = self._plans.get(sig)
+        if plan is None:
+            if len(self._plans) >= _MAX_PLANS:
+                return self._eager_eval(x, y)
+            plan, modules, loss = self._traced_eval(x, y)
+            if plan is None:
+                self._plans[sig] = _UnsupportedPlan(modules)
+                self.stats.eager_steps += 1
+            else:
+                self._plans[sig] = plan
+                self.stats.captures += 1
+            return loss
+        if isinstance(plan, _UnsupportedPlan):
+            return self._eager_eval(x, y)
+        self.stats.replays += 1
+        return plan.run_eval(x, y)
+
+
+def compile_step(model: Module, optimizer: Optimizer,
+                 loss: str = "cross_entropy",
+                 enabled: Optional[bool] = None) -> GraphReplay:
+    """Build a :class:`GraphReplay` stepper for a static training loop."""
+    return GraphReplay(model, optimizer, loss=loss, enabled=enabled)

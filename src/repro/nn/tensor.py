@@ -33,9 +33,12 @@ _DEFAULT_DTYPE = np.float64
 # Engine-wide feature switches.  ``fused_ops`` lets benchmarks and gradient
 # tests fall back to the primitive-composed (seed-equivalent) implementations
 # of ``linear`` / ``cross_entropy``; ``inference_no_grad`` controls whether
-# eval-time forwards skip the backward tape.  Production code leaves both on;
-# ``seed_compat_mode`` turns both off to measure the seed engine's behavior.
-_ENGINE_FLAGS = {"fused_ops": True, "inference_no_grad": True}
+# eval-time forwards skip the backward tape; ``graph_replay`` enables the
+# whole-graph capture/replay executor for static training loops
+# (:mod:`repro.nn.replay`).  Production code leaves all three on;
+# ``seed_compat_mode`` turns them off to measure the seed engine's behavior.
+_ENGINE_FLAGS = {"fused_ops": True, "inference_no_grad": True,
+                 "graph_replay": True}
 
 _GRAD_MODE = threading.local()
 
@@ -113,6 +116,27 @@ def use_fused_ops(enabled: bool):
         _ENGINE_FLAGS["fused_ops"] = previous
 
 
+def graph_replay_enabled() -> bool:
+    return _ENGINE_FLAGS["graph_replay"]
+
+
+@contextmanager
+def use_graph_replay(enabled: bool):
+    """Toggle the whole-graph capture/replay executor for static loops.
+
+    Training loops consult this flag when :class:`~repro.nn.TrainConfig`
+    leaves ``replay`` unset, so one context manager switches the executor
+    for a whole pipeline run (the :class:`~repro.core.Controller` threads
+    its ``replay`` config field through here).
+    """
+    previous = _ENGINE_FLAGS["graph_replay"]
+    _ENGINE_FLAGS["graph_replay"] = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENGINE_FLAGS["graph_replay"] = previous
+
+
 def inference_mode():
     """Context for eval-time forwards: ``no_grad()`` unless the engine is in
     seed-compat mode (where inference keeps building the tape)."""
@@ -126,12 +150,14 @@ def seed_compat_mode():
     """Reproduce the seed engine's behavior for benchmarking baselines.
 
     Disables the fused ops (losses and ``linear`` run as chains of primitive
-    tape nodes) and re-enables tape construction during inference, which is
-    what the seed engine did on every eval forward.
+    tape nodes), re-enables tape construction during inference (which is
+    what the seed engine did on every eval forward), and switches off the
+    graph replay executor so every step rebuilds the tape eagerly.
     """
     previous = dict(_ENGINE_FLAGS)
     _ENGINE_FLAGS["fused_ops"] = False
     _ENGINE_FLAGS["inference_no_grad"] = False
+    _ENGINE_FLAGS["graph_replay"] = False
     try:
         yield
     finally:

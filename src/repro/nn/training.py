@@ -19,6 +19,7 @@ from . import functional as F
 from .data import ArrayDataset, DataLoader, SoftLabeledDataset
 from .modules import Module
 from .optim import SGD, Adam, Optimizer
+from .replay import GraphReplay
 from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, WarmupMultiStepLR)
 from .tensor import Tensor, get_default_dtype, inference_mode
@@ -60,6 +61,12 @@ class TrainConfig:
     augment: Optional[Transform] = None
     seed: int = 0
     shuffle: bool = True
+    #: graph capture/replay executor for the training loop: ``None`` follows
+    #: the engine-wide flag (on by default, see ``use_graph_replay``),
+    #: ``True``/``False`` force it for this run.  Replayed training is
+    #: bit-identical to the eager fused path; unsupported models fall back
+    #: to eager automatically (see :mod:`repro.nn.replay`).
+    replay: Optional[bool] = None
 
     def with_updates(self, **overrides) -> "TrainConfig":
         """Return a copy with selected fields replaced."""
@@ -169,6 +176,8 @@ def train_classifier(model: Module, features: np.ndarray, labels: np.ndarray,
     scheduler = build_scheduler(optimizer, config, total_steps,
                                 steps_per_epoch=len(loader))
 
+    stepper = GraphReplay(model, optimizer, loss="cross_entropy",
+                          enabled=config.replay)
     model.train()
     for epoch in range(config.epochs):
         losses: List[float] = []
@@ -176,12 +185,7 @@ def train_classifier(model: Module, features: np.ndarray, labels: np.ndarray,
             if config.augment is not None:
                 batch_x = config.augment(batch_x, rng)
             scheduler.step()
-            logits = model(Tensor(batch_x))
-            loss = F.cross_entropy(logits, batch_y)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
+            losses.append(stepper.step(batch_x, batch_y))
         if callback is not None:
             callback(epoch, float(np.mean(losses)) if losses else float("nan"))
     model.eval()
@@ -203,6 +207,8 @@ def train_soft_classifier(model: Module, features: np.ndarray,
     scheduler = build_scheduler(optimizer, config, total_steps,
                                 steps_per_epoch=len(loader))
 
+    stepper = GraphReplay(model, optimizer, loss="soft_cross_entropy",
+                          enabled=config.replay)
     model.train()
     for epoch in range(config.epochs):
         losses: List[float] = []
@@ -210,12 +216,7 @@ def train_soft_classifier(model: Module, features: np.ndarray,
             if config.augment is not None:
                 batch_x = config.augment(batch_x, rng)
             scheduler.step()
-            logits = model(Tensor(batch_x))
-            loss = F.soft_cross_entropy(logits, batch_p)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
+            losses.append(stepper.step(batch_x, batch_p))
         if callback is not None:
             callback(epoch, float(np.mean(losses)) if losses else float("nan"))
     model.eval()
