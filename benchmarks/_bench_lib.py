@@ -98,3 +98,31 @@ def write_report(name: str, text: str) -> str:
     return path
 
 
+def update_bench_record(path: str, section: str, payload: dict) -> None:
+    """Merge one section into a ``BENCH_*.json`` trajectory file.
+
+    Shared by the engine and serving throughput benchmarks: preserves the
+    other sections, refreshes the timestamp, and stamps host metadata once.
+    """
+    import json
+    import platform
+    from datetime import datetime, timezone
+
+    import numpy as np
+
+    record = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    record["created"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    record.setdefault("host", {
+        "cpus": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+    })
+    record[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+

@@ -1,0 +1,69 @@
+"""Measure ``parallel_modules`` on this host and print a verdict.
+
+ROADMAP open item: parallel taglet training is bit-identical to sequential
+but added nothing on the 1-CPU reference container; the question is whether
+it pays off on a multi-core host (e.g. the GitHub CI runner, which invokes
+this script in the smoke job).  Run with::
+
+    PYTHONPATH=src python benchmarks/measure_parallel_modules.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import Controller, ControllerConfig, Task
+from repro.kg import GraphSpec
+from repro.modules import ZslKgModule
+from repro.synth import WorldSpec
+from repro.workspace import Workspace, WorkspaceSpec
+
+REPEATS = 3
+
+
+def build_task() -> Task:
+    spec = WorkspaceSpec(graph=GraphSpec(num_filler_concepts=300, seed=0),
+                         world=WorldSpec(seed=0),
+                         scads_images_per_concept=30, seed=0)
+    workspace = Workspace(spec)
+    split = workspace.make_task_split("fmd", shots=5, split_seed=0)
+    return Task.from_split(split, scads=workspace.scads,
+                           backbone=workspace.backbone("resnet50"),
+                           wanted_num_related_class=3,
+                           images_per_related_class=8)
+
+
+def measure(task: Task, parallel: bool) -> float:
+    timings = []
+    for _ in range(REPEATS):
+        ZslKgModule._pretrained_cache.clear()
+        controller = Controller(config=ControllerConfig(
+            parallel_modules=parallel, dtype="float32", seed=0))
+        start = time.perf_counter()
+        controller.run(task)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def main() -> None:
+    cpus = os.cpu_count()
+    print(f"host: {cpus} CPU(s); four paper-default modules, fmd 5-shot, "
+          f"best of {REPEATS}")
+    task = build_task()
+    measure(task, parallel=False)  # warm BLAS and caches
+    sequential = measure(task, parallel=False)
+    parallel = measure(task, parallel=True)
+    speedup = sequential / parallel
+    print(f"sequential: {sequential:.2f}s  parallel: {parallel:.2f}s  "
+          f"speedup: {speedup:.2f}x")
+    if speedup >= 1.15:
+        print(f"verdict: parallel_modules pays off on this {cpus}-core host "
+              "— consider enabling it by default here")
+    else:
+        print(f"verdict: parallel_modules adds nothing on this {cpus}-core "
+              "host (GIL/BLAS contention); keep it opt-in")
+
+
+if __name__ == "__main__":
+    main()

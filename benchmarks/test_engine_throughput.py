@@ -17,14 +17,13 @@ marker keeps it out of tier-1).
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import time
-from datetime import datetime, timezone
 
 import numpy as np
 import pytest
+
+from _bench_lib import update_bench_record
 
 from repro.core import Controller, ControllerConfig, Task
 from repro.kg import GraphSpec
@@ -40,20 +39,7 @@ BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file
 
 
 def update_bench(section: str, payload: dict) -> None:
-    record = {}
-    if os.path.exists(BENCH_PATH):
-        with open(BENCH_PATH, "r", encoding="utf-8") as handle:
-            record = json.load(handle)
-    record["created"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
-    record.setdefault("host", {
-        "cpus": os.cpu_count(),
-        "numpy": np.__version__,
-        "python": platform.python_version(),
-    })
-    record[section] = payload
-    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    update_bench_record(BENCH_PATH, section, payload)
 
 
 # --------------------------------------------------------------------------- #

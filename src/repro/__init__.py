@@ -16,7 +16,9 @@ in pure NumPy/SciPy/networkx:
 * :mod:`repro.ensemble` / :mod:`repro.distill` — pseudo labeling and the end model,
 * :mod:`repro.core` — the public ``Task`` / ``Controller`` API,
 * :mod:`repro.baselines` — the comparison methods of the evaluation,
-* :mod:`repro.evaluation` — metrics, confidence intervals and the experiment runner.
+* :mod:`repro.evaluation` — metrics, confidence intervals and the experiment runner,
+* :mod:`repro.serve` — versioned end-model artifacts and the micro-batched
+  serving layer (registry, HTTP endpoint, ``python -m repro.serve``).
 
 Quickstart::
 

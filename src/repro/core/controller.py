@@ -78,6 +78,11 @@ class ControllerConfig:
     #: back automatically (see docs/performance.md).  Same process-global
     #: scope caveat as ``dtype``.
     replay: Optional[bool] = None
+    #: if set, ``run()`` exports the distilled end model as a versioned
+    #: servable artifact at this directory (see :mod:`repro.serve.artifact`)
+    #: — the train-to-deploy hook.  Test accuracy is recorded in the
+    #: manifest's metrics when the task carries a test set.
+    export_path: Optional[str] = None
     seed: int = 0
 
 
@@ -90,6 +95,10 @@ class TagletsResult:
     end_model: EndModel
     auxiliary: AuxiliarySelection
     pseudo_labels: np.ndarray
+    #: the target label space, recorded so the result is exportable as a
+    #: self-describing servable artifact (``repro.serve.export_end_model``)
+    class_names: List[str] = field(default_factory=list)
+    task_name: Optional[str] = None
 
     def taglet(self, name: str) -> Taglet:
         for taglet in self.taglets:
@@ -215,9 +224,24 @@ class Controller:
 
         result = TagletsResult(taglets=taglets, ensemble=ensemble,
                                end_model=end_model, auxiliary=auxiliary,
-                               pseudo_labels=pseudo_labels)
+                               pseudo_labels=pseudo_labels,
+                               class_names=task.class_names,
+                               task_name=task.name)
+        if self.config.export_path is not None:
+            self.export(result, self.config.export_path, task=task)
         self._last_result = result
         return result
+
+    def export(self, result: TagletsResult, path: str,
+               task: Optional[Task] = None) -> str:
+        """Export the result's end model as a versioned servable artifact."""
+        from ..serve.artifact import export_end_model
+
+        metrics: Dict[str, float] = {}
+        if task is not None and task.has_test_set:
+            metrics["test_accuracy"] = result.end_model_accuracy(
+                task.test_features, task.test_labels)
+        return export_end_model(result, path, metrics=metrics)
 
     def train_end_model(self, task: Task) -> EndModel:
         """Artifact-appendix style entry point: run the pipeline, return the end model."""

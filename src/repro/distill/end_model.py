@@ -40,13 +40,34 @@ class EndModelConfig:
 
 
 class EndModel(ModelTaglet):
-    """The servable distilled classifier."""
+    """The servable distilled classifier.
+
+    This is the artifact the whole pipeline exists to produce; the
+    deployment layer (:mod:`repro.serve`) exports it — via the properties
+    below — as a versioned on-disk artifact and serves it behind the
+    micro-batching engine.
+    """
 
     def __init__(self, model: ClassificationModel):
         super().__init__("end_model", model)
 
     def num_parameters(self) -> int:
         return self.model.num_parameters()
+
+    @property
+    def backbone_spec(self):
+        """Architecture/provenance of the underlying encoder (exported to
+        the servable manifest so the model can be rebuilt without code)."""
+        return self.model.encoder.spec
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype the end model was trained under."""
+        return self.model.head.weight.data.dtype
+
+    def state_dict(self):
+        """The weights a servable artifact persists."""
+        return self.model.state_dict()
 
 
 def train_end_model(backbone: PretrainedBackbone,

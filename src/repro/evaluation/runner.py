@@ -68,8 +68,16 @@ def taglets_method(name: str = "taglets",
                    modules: Sequence[str] = DEFAULT_MODULES,
                    prune_level: Optional[int] = None,
                    num_related_concepts: int = 5,
-                   images_per_concept: int = 30) -> MethodSpec:
-    """Build a TAGLETS method spec (optionally pruned or with modules removed)."""
+                   images_per_concept: int = 30,
+                   dtype: Optional[str] = "float32") -> MethodSpec:
+    """Build a TAGLETS method spec (optionally pruned or with modules removed).
+
+    ``dtype`` defaults to the float32 fast mode: the parity gate
+    (``tests/core/test_float32_parity.py``) shows accuracy is
+    dtype-invariant across every dataset/backbone of the benchmark grid, so
+    the runner takes the halved-bandwidth path by default.  Pass
+    ``dtype=None`` to reproduce the seed float64 behaviour exactly.
+    """
 
     def run(workspace: Workspace, split: TaskSplit, backbone_name: str,
             seed: int) -> ExperimentResult:
@@ -78,7 +86,7 @@ def taglets_method(name: str = "taglets",
                                wanted_num_related_class=num_related_concepts,
                                images_per_related_class=images_per_concept)
         config = ControllerConfig(modules=modules, prune_level=prune_level,
-                                  seed=seed)
+                                  dtype=dtype, seed=seed)
         controller = Controller(config=config)
         result = controller.run(task)
         test_x, test_y = split.test_features, split.test_labels

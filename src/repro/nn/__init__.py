@@ -16,15 +16,18 @@ from .optim import SGD, Adam, Optimizer
 from .replay import GraphReplay, ReplayStats, ReplayUnsupported, compile_step
 from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, StepLR, WarmupMultiStepLR)
-from .serialization import (load_into_module, load_state_dict, save_module,
-                            save_state_dict)
+from .serialization import (StateDictMismatchError, load_into_module,
+                            load_state_dict, save_module, save_state_dict,
+                            state_dict_digest, state_dict_manifest,
+                            validate_state_dict)
 from .tensor import (Tensor, concatenate, default_dtype, get_default_dtype,
                      graph_replay_enabled, is_grad_enabled, no_grad,
                      seed_compat_mode, set_default_dtype, stack,
                      use_fused_ops, use_graph_replay)
 from .training import (TrainConfig, build_optimizer, build_scheduler,
                        evaluate_accuracy, iterate_forever, predict_logits,
-                       predict_proba, train_classifier, train_soft_classifier)
+                       predict_proba, softmax_rows, train_classifier,
+                       train_soft_classifier)
 from .transforms import (Compose, GaussianJitter, IdentityTransform,
                          RandomFeatureDrop, RandomPermuteBlocks, RandomScale,
                          Transform, strong_augment, weak_augment)
@@ -46,7 +49,9 @@ __all__ = [
     "RandomScale", "RandomFeatureDrop", "RandomPermuteBlocks",
     "weak_augment", "strong_augment",
     "TrainConfig", "build_optimizer", "build_scheduler", "predict_logits",
-    "predict_proba", "evaluate_accuracy", "train_classifier",
+    "predict_proba", "softmax_rows", "evaluate_accuracy", "train_classifier",
     "train_soft_classifier", "iterate_forever",
     "save_state_dict", "load_state_dict", "save_module", "load_into_module",
+    "state_dict_manifest", "state_dict_digest", "validate_state_dict",
+    "StateDictMismatchError",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "build_scheduler",
     "predict_logits",
     "predict_proba",
+    "softmax_rows",
     "evaluate_accuracy",
     "train_classifier",
     "train_soft_classifier",
@@ -131,15 +132,24 @@ def predict_logits(model: Module, features: np.ndarray,
     return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]
 
 
-def predict_proba(model: Module, features: np.ndarray,
-                  batch_size: Optional[int] = 256) -> np.ndarray:
-    """Softmax probabilities of the model on ``features``."""
-    logits = predict_logits(model, features, batch_size=batch_size)
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable row-wise softmax over a ``(n, C)`` logit matrix.
+
+    The one conversion every probability-producing path goes through
+    (offline :func:`predict_proba` and the serving layer's
+    ``ServableModel``), so they stay bit-identical by construction.
+    """
     if logits.size == 0:
         return logits
     shifted = logits - logits.max(axis=1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=1, keepdims=True)
+
+
+def predict_proba(model: Module, features: np.ndarray,
+                  batch_size: Optional[int] = 256) -> np.ndarray:
+    """Softmax probabilities of the model on ``features``."""
+    return softmax_rows(predict_logits(model, features, batch_size=batch_size))
 
 
 def evaluate_accuracy(model: Module, features: np.ndarray,

@@ -1,0 +1,31 @@
+"""``repro.serve`` — from trained pipeline to answered request.
+
+The deployment layer of the reproduction: versioned artifact export of the
+distilled end model (:mod:`~repro.serve.artifact`), a hot-swappable
+:class:`ModelRegistry`, a dynamic micro-batching engine
+(:mod:`~repro.serve.batching`), and a :class:`Server` front end with a
+stdlib JSON-over-HTTP endpoint plus a ``python -m repro.serve`` CLI.
+
+Typical lifecycle::
+
+    result = Controller().run(task)                       # train
+    export_end_model(result, "artifacts/fmd")             # export
+    server = Server()
+    server.load("fmd", "artifacts/fmd")                   # register v1
+    server.predict(x, model="fmd@latest")                 # query
+"""
+
+from .artifact import (ArtifactError, SCHEMA_VERSION, ServableModel,
+                       export_end_model, load_servable, read_manifest)
+from .batching import BatcherStats, BatchingConfig, MicroBatcher, input_digest
+from .http import make_http_server, start_http_server
+from .registry import ModelNotFound, ModelRegistry, parse_reference
+from .server import Server
+
+__all__ = [
+    "SCHEMA_VERSION", "ArtifactError", "ServableModel", "export_end_model",
+    "load_servable", "read_manifest",
+    "BatchingConfig", "BatcherStats", "MicroBatcher", "input_digest",
+    "ModelRegistry", "ModelNotFound", "parse_reference",
+    "Server", "make_http_server", "start_http_server",
+]

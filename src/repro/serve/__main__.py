@@ -1,0 +1,128 @@
+"""``python -m repro.serve`` — stand up the JSON endpoint over artifacts.
+
+Serve one or more exported end-model artifacts::
+
+    python -m repro.serve artifacts/fmd
+    python -m repro.serve --model fmd=artifacts/fmd --model demo=artifacts/demo \\
+        --port 8080 --max-batch-size 64 --max-latency-ms 5
+
+With ``--demo``, a small synthetic workspace is built, the TAGLETS pipeline
+is trained end to end, the end model is exported to a temporary directory,
+and the server starts on it — the zero-to-served smoke path CI exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Tuple
+
+from .artifact import export_end_model
+from .batching import BatchingConfig
+from .http import make_http_server
+from .server import Server
+
+
+def _parse_models(args: argparse.Namespace) -> List[Tuple[str, str]]:
+    models: List[Tuple[str, str]] = []
+    for spec in args.model or []:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise SystemExit(f"--model expects name=path, got {spec!r}")
+        models.append((name, path))
+    taken = {name for name, _ in models}
+    for path in args.artifacts:
+        # The first positional artifact is served as 'default' (what a bare
+        # POST /predict queries) unless a --model already claimed that name.
+        name = "default" if "default" not in taken else f"model{len(models)}"
+        taken.add(name)
+        models.append((name, path))
+    return models
+
+
+def _train_demo_artifact(directory: str, seed: int = 0) -> str:
+    """Train a quick small-workspace pipeline and export it (the CI smoke)."""
+    from ..core import Controller, ControllerConfig, Task
+    from ..distill import EndModelConfig
+    from ..kg import GraphSpec
+    from ..modules import MultiTaskConfig, MultiTaskModule
+    from ..synth import WorldSpec
+    from ..workspace import Workspace, WorkspaceSpec
+
+    print("demo: building a reduced workspace and training TAGLETS...",
+          flush=True)
+    spec = WorkspaceSpec(graph=GraphSpec(num_filler_concepts=300, seed=seed),
+                         world=WorldSpec(seed=seed),
+                         scads_images_per_concept=30, seed=seed)
+    workspace = Workspace(spec)
+    split = workspace.make_task_split("fmd", shots=5, split_seed=0)
+    task = Task.from_split(split, scads=workspace.scads,
+                           backbone=workspace.backbone("resnet50"),
+                           wanted_num_related_class=3,
+                           images_per_related_class=8)
+    config = ControllerConfig(end_model=EndModelConfig(epochs=20),
+                              dtype="float32", seed=seed)
+    result = Controller(modules=[MultiTaskModule(MultiTaskConfig(epochs=10))],
+                        config=config).run(task)
+    accuracy = result.end_model_accuracy(split.test_features, split.test_labels)
+    path = export_end_model(result, directory,
+                            metrics={"test_accuracy": accuracy})
+    print(f"demo: exported end model (test accuracy {accuracy:.3f}) to {path}",
+          flush=True)
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve exported TAGLETS end models over JSON/HTTP.")
+    parser.add_argument("artifacts", nargs="*",
+                        help="artifact directories (first is served as 'default')")
+    parser.add_argument("--model", action="append", metavar="NAME=PATH",
+                        help="serve PATH under NAME (repeatable)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--max-batch-size", type=int, default=32,
+                        help="rows fused into one forward (default 32)")
+    parser.add_argument("--max-latency-ms", type=float, default=2.0,
+                        help="max time the first request waits for a batch")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="LRU prediction-cache entries (0 disables)")
+    parser.add_argument("--demo", action="store_true",
+                        help="train a small synthetic pipeline and serve it")
+    args = parser.parse_args(argv)
+
+    batching = BatchingConfig(max_batch_size=args.max_batch_size,
+                              max_latency_ms=args.max_latency_ms,
+                              cache_size=args.cache_size)
+    server = Server(batching=batching)
+
+    demo_dir = None
+    if args.demo:
+        demo_dir = tempfile.mkdtemp(prefix="repro-serve-demo-")
+        server.load("default", _train_demo_artifact(demo_dir))
+    models = _parse_models(args)
+    if not models and not args.demo:
+        parser.error("nothing to serve: pass artifact paths, --model, or --demo")
+    for name, path in models:
+        version = server.load(name, path)
+        print(f"loaded {name}@{version} from {path}", flush=True)
+
+    httpd = make_http_server(server, host=args.host, port=args.port)
+    host, port = httpd.server_address[:2]
+    print(f"serving {len(server.registry)} model(s) on http://{host}:{port} "
+          f"(POST /predict, GET /models, /stats, /healthz)", flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down...", flush=True)
+    finally:
+        httpd.shutdown()
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""The versioned on-disk format for servable end models.
+
+TAGLETS' product is the distilled end model — a single backbone-sized
+classifier meant to be deployed (the paper's "servable model").  An exported
+artifact is a directory::
+
+    <path>/
+        manifest.json   # schema version, classes, backbone spec, dtype,
+                        # per-weight shapes/dtypes, content digest, metrics
+        weights.npz     # the end model's state dict
+
+``manifest.json`` is self-describing: a servable can be inspected, listed,
+and validated without touching the weight archive, and the archive itself is
+integrity-checked against the manifest's SHA-256 digest on load.  The schema
+is versioned so future PRs can evolve the format while still reading (or
+loudly rejecting) old artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..backbones.backbone import BackboneSpec, ClassificationModel, Encoder
+from ..distill.end_model import EndModel
+from ..nn.serialization import (load_state_dict, save_state_dict,
+                                state_dict_digest, state_dict_manifest,
+                                validate_state_dict)
+from ..nn.tensor import default_dtype, get_default_dtype
+from ..nn.training import predict_logits, softmax_rows
+from .batching import run_at_quantum
+
+#: The engine's default dtype is process-global, so a servable whose dtype
+#: differs from the process default must flip it for the duration of each
+#: forward.  This lock serializes every servable forward so two models of
+#: different dtypes never race on the flag (one forward is one fused batch,
+#: so the critical section is short).
+_FORWARD_LOCK = threading.Lock()
+
+__all__ = ["SCHEMA_VERSION", "MANIFEST_NAME", "WEIGHTS_NAME",
+           "ArtifactError", "ServableModel", "export_end_model",
+           "load_servable", "read_manifest"]
+
+#: Bump when the manifest layout changes incompatibly.
+SCHEMA_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+WEIGHTS_NAME = "weights.npz"
+
+#: Manifest keys every schema-1 artifact must carry.
+_REQUIRED_KEYS = ("schema_version", "format", "class_names", "backbone",
+                  "dtype", "weights", "weights_digest")
+
+
+class ArtifactError(ValueError):
+    """An exported artifact is missing, malformed, or fails validation."""
+
+
+def _end_model_of(source) -> EndModel:
+    """Accept an :class:`EndModel` or anything carrying one (``.end_model``)."""
+    if isinstance(source, EndModel):
+        return source
+    end_model = getattr(source, "end_model", None)
+    if isinstance(end_model, EndModel):
+        return end_model
+    raise TypeError(
+        f"expected an EndModel or a result carrying one, got {type(source).__name__}")
+
+
+def _class_names_of(source, class_names) -> List[str]:
+    if class_names is not None:
+        return [str(name) for name in class_names]
+    names = getattr(source, "class_names", None)
+    if names:
+        return [str(name) for name in names]
+    raise ValueError("class_names are required: pass them explicitly or export "
+                     "a TagletsResult (which records them)")
+
+
+def export_end_model(source, path: str,
+                     class_names: Optional[Sequence[str]] = None,
+                     metrics: Optional[Dict[str, float]] = None,
+                     task_name: Optional[str] = None) -> str:
+    """Export a trained end model as a versioned servable artifact.
+
+    ``source`` is a :class:`~repro.core.controller.TagletsResult` (class
+    names and task name are taken from it) or a bare :class:`EndModel` (pass
+    ``class_names`` explicitly).  Returns the artifact directory path.
+    """
+    end_model = _end_model_of(source)
+    names = _class_names_of(source, class_names)
+    model = end_model.model
+    if len(names) != model.num_classes:
+        raise ValueError(f"got {len(names)} class names for a "
+                         f"{model.num_classes}-class end model")
+    spec: BackboneSpec = end_model.backbone_spec
+    state = end_model.state_dict()
+    # The dtype the model was trained under, falling back to float64 when
+    # the state is mixed or exotic (the engine only runs float32/float64).
+    dtype = str(np.dtype(end_model.dtype))
+    if dtype not in ("float32", "float64") or \
+            {str(np.asarray(v).dtype) for v in state.values()} != {dtype}:
+        dtype = "float64"
+
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "format": "taglets-end-model",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "task_name": task_name or getattr(source, "task_name", None),
+        "class_names": names,
+        "num_classes": model.num_classes,
+        "backbone": {
+            "name": spec.name,
+            "input_dim": spec.input_dim,
+            "hidden_dims": list(spec.hidden_dims),
+            "feature_dim": spec.feature_dim,
+            "pretraining": spec.pretraining,
+        },
+        # The servable is rebuilt in this dtype so served logits match
+        # offline inference bit for bit.
+        "dtype": dtype,
+        "num_parameters": end_model.num_parameters(),
+        "metrics": dict(metrics or {}),
+        "weights": state_dict_manifest(state),
+        "weights_digest": state_dict_digest(state),
+    }
+
+    os.makedirs(path, exist_ok=True)
+    save_state_dict(state, os.path.join(path, WEIGHTS_NAME))
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def read_manifest(path: str) -> dict:
+    """Read and schema-check an artifact's manifest (weights stay untouched)."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if not os.path.isdir(path) or not os.path.exists(manifest_path):
+        raise ArtifactError(f"no servable artifact at {path!r} "
+                            f"(expected a directory containing {MANIFEST_NAME})")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"corrupt manifest at {manifest_path}: {error}")
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise ArtifactError(f"manifest at {manifest_path} is missing "
+                            f"required keys: {missing}")
+    version = manifest["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact at {path!r} has schema version {version}; this build "
+            f"reads version {SCHEMA_VERSION} — re-export the model or upgrade")
+    return manifest
+
+
+class ServableModel:
+    """An inference-only end model reconstructed from an artifact.
+
+    The wrapped model is permanently in eval mode and all predictions run
+    under the engine's ``no_grad`` inference mode — a servable never builds
+    a backward tape.  ``fingerprint`` (the artifact's weight digest) keys
+    prediction caches and identifies the exact weights a response came from.
+    """
+
+    def __init__(self, model: ClassificationModel, manifest: dict,
+                 path: Optional[str] = None):
+        model.eval()
+        self._model = model
+        self.manifest = manifest
+        self.path = path
+        self.class_names: List[str] = list(manifest["class_names"])
+        self.dtype = np.dtype(manifest["dtype"])
+        self.fingerprint: str = manifest["weights_digest"]
+
+    @property
+    def num_classes(self) -> int:
+        return self._model.num_classes
+
+    @property
+    def input_dim(self) -> int:
+        return self._model.encoder.spec.input_dim
+
+    def predict_logits(self, features: np.ndarray,
+                       batch_size: Optional[int] = None) -> np.ndarray:
+        """Logits for ``features``.
+
+        ``batch_size=None`` (the default) runs one full-array forward — the
+        offline mode.  With a ``batch_size``, inference runs at that fixed
+        *quantum*: every chunk, including the last, is padded to exactly
+        ``batch_size`` rows.  BLAS gemm kernels choose different reduction
+        orders for different row counts, so a row's logits are a pure
+        function of (row, weights, batch rows); running at a fixed quantum
+        is what makes quantized offline inference bit-identical to the
+        micro-batched serving path configured with the same
+        ``max_batch_size``.
+        """
+        features = np.asarray(features, dtype=self.dtype)
+        if features.ndim == 2 and batch_size is not None and batch_size > 0:
+            if len(features) == 0:
+                return np.zeros((0, self.num_classes), dtype=self.dtype)
+            # Same chunk-and-pad implementation the micro-batcher runs, so
+            # quantized offline inference is bit-identical to serving.
+            return run_at_quantum(
+                lambda rows: self.predict_logits(rows, batch_size=None),
+                features, batch_size)
+        # BLAS routes 1-row matmuls through gemv, whose reduction order can
+        # differ from the batched gemm path in the last bit.  Pad singleton
+        # batches to two rows so a lone example gets the gemm path.
+        if features.ndim == 2 and len(features) == 1:
+            return self._forward(np.concatenate([features, features]))[:1]
+        return self._forward(features)
+
+    def _forward(self, features: np.ndarray) -> np.ndarray:
+        with _FORWARD_LOCK:
+            if np.dtype(get_default_dtype()) == self.dtype:
+                return predict_logits(self._model, features, batch_size=None)
+            with default_dtype(self.dtype):
+                return predict_logits(self._model, features, batch_size=None)
+
+    def predict_proba(self, features: np.ndarray,
+                      batch_size: Optional[int] = None) -> np.ndarray:
+        return softmax_rows(self.predict_logits(features,
+                                                batch_size=batch_size))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def predict_names(self, features: np.ndarray) -> List[str]:
+        return [self.class_names[i] for i in self.predict(features)]
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (what ``GET /models`` reports)."""
+        return {
+            "task_name": self.manifest.get("task_name"),
+            "num_classes": self.num_classes,
+            "class_names": self.class_names,
+            "backbone": self.manifest["backbone"],
+            "dtype": str(self.dtype),
+            "num_parameters": self.manifest.get("num_parameters"),
+            "metrics": self.manifest.get("metrics", {}),
+            "created": self.manifest.get("created"),
+            "fingerprint": self.fingerprint,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ServableModel({self.manifest.get('task_name')!r}, "
+                f"{self.num_classes} classes, dtype={self.dtype})")
+
+
+def load_servable(path: str, verify_digest: bool = True) -> ServableModel:
+    """Reconstruct an inference-only model from an exported artifact.
+
+    The weight archive is strictly validated against the rebuilt
+    architecture (every key, shape, and dtype) and, unless disabled,
+    integrity-checked against the manifest's digest.
+    """
+    manifest = read_manifest(path)
+    weights_path = os.path.join(path, WEIGHTS_NAME)
+    if not os.path.exists(weights_path):
+        raise ArtifactError(f"artifact at {path!r} has no {WEIGHTS_NAME}")
+    state = load_state_dict(weights_path)
+
+    if verify_digest:
+        digest = state_dict_digest(state)
+        if digest != manifest["weights_digest"]:
+            raise ArtifactError(
+                f"weight archive at {weights_path} does not match its "
+                f"manifest digest (expected {manifest['weights_digest'][:12]}…, "
+                f"got {digest[:12]}…) — the artifact is corrupt or was edited")
+
+    backbone = manifest["backbone"]
+    spec = BackboneSpec(name=backbone["name"],
+                        input_dim=int(backbone["input_dim"]),
+                        hidden_dims=tuple(backbone["hidden_dims"]),
+                        feature_dim=int(backbone["feature_dim"]),
+                        pretraining=backbone.get("pretraining", "none"))
+    # Rebuild under the recorded dtype so parameters (and therefore served
+    # logits) match the training-time model exactly.
+    with default_dtype(manifest["dtype"]):
+        encoder = Encoder(spec, rng=np.random.default_rng(0))
+        model = ClassificationModel(encoder, int(manifest["num_classes"]),
+                                    rng=np.random.default_rng(0))
+    try:
+        validate_state_dict(model, state, source=weights_path)
+    except ValueError as error:
+        raise ArtifactError(str(error))
+    model.load_state_dict(state)
+    return ServableModel(model, manifest, path=path)

@@ -1,0 +1,154 @@
+"""A stdlib JSON-over-HTTP front end for :class:`~repro.serve.Server`.
+
+No web framework — ``http.server.ThreadingHTTPServer`` handles each
+connection on its own thread, and those threads all feed the same
+micro-batching queue, so concurrent HTTP clients are fused into shared
+forwards exactly like in-process callers.
+
+Routes::
+
+    GET  /healthz   -> {"status": "ok"}
+    GET  /models    -> registry listing (manifest summaries per version)
+    GET  /stats     -> per-model batcher counters
+    POST /predict   -> {"model": "name[@version]", "inputs": [[...], ...],
+                        "return_probabilities": false}
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+import numpy as np
+
+from .registry import ModelNotFound
+from .server import Server
+
+__all__ = ["make_http_server", "start_http_server"]
+
+#: Largest accepted request body (a crude guard against unbounded reads).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Dispatches HTTP requests to the attached :class:`Server`."""
+
+    server_version = "repro-serve/1.0"
+    #: the attached Server instance (set by :func:`make_http_server`)
+    serve_app: Server
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the caller's business, not stderr's
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+        app = type(self).serve_app
+        if self.path == "/healthz":
+            self._send_json({"status": "ok"})
+        elif self.path == "/models":
+            self._send_json(app.registry.describe())
+        elif self.path == "/stats":
+            self._send_json(app.describe())
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API name)
+        app = type(self).serve_app
+        if self.path != "/predict":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_error_json(400, "invalid Content-Length")
+            return
+        if length <= 0:
+            self._send_error_json(400, "request body required (JSON)")
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{MAX_BODY_BYTES}-byte limit — split the batch")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_error_json(400, f"invalid JSON body: {error}")
+            return
+
+        model = payload.get("model", "default")
+        inputs = payload.get("inputs")
+        if inputs is None:
+            self._send_error_json(400, "missing 'inputs'")
+            return
+        try:
+            array = np.asarray(inputs, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            self._send_error_json(400, f"inputs are not numeric: {error}")
+            return
+        if array.ndim not in (1, 2) or array.size == 0:
+            self._send_error_json(
+                400, f"inputs must be one example or a non-empty batch, "
+                     f"got shape {array.shape}")
+            return
+        try:
+            response = app.predict(
+                array, model=str(model),
+                return_probabilities=bool(payload.get("return_probabilities",
+                                                      False)))
+        except ModelNotFound as error:
+            self._send_error_json(404, str(error))
+            return
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        except Exception as error:  # a serving failure, not a client error
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+            return
+        self._send_json(response)
+
+
+def make_http_server(app: Server, host: str = "127.0.0.1",
+                     port: int = 8080) -> ThreadingHTTPServer:
+    """Build (but do not start) an HTTP server bound to ``app``.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``httpd.server_address``.
+    """
+    handler = type("BoundServeHandler", (_ServeHandler,), {"serve_app": app})
+    # The stdlib default listen backlog (5) drops connections under the
+    # very request bursts micro-batching exists to absorb.
+    server_cls = type("ServeHTTPServer", (ThreadingHTTPServer,),
+                      {"request_queue_size": 128, "daemon_threads": True})
+    return server_cls((host, port), handler)
+
+
+def start_http_server(app: Server, host: str = "127.0.0.1",
+                      port: int = 8080) -> Tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the endpoint on a background thread; returns (httpd, thread).
+
+    Stop with ``httpd.shutdown()`` followed by ``app.close()``.
+    """
+    httpd = make_http_server(app, host=host, port=port)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True,
+                              name="repro-serve-http")
+    thread.start()
+    return httpd, thread

@@ -1,0 +1,172 @@
+"""A versioned in-process store of servable models.
+
+The registry maps ``name -> {version -> ServableModel}`` plus a ``latest``
+pointer per name.  References are strings of the form ``name``,
+``name@latest``, or ``name@<version>``; resolution is atomic under a lock
+and returns the servable *object*, so a request that resolved version ``2``
+keeps using those exact weights even if ``3`` is registered (or ``2`` is
+retired) while the request is in flight — hot swaps never drop or corrupt
+in-flight work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .artifact import ServableModel, load_servable
+
+__all__ = ["ModelRegistry", "ModelNotFound", "parse_reference"]
+
+LATEST = "latest"
+
+
+class ModelNotFound(KeyError):
+    """No servable matches the requested ``name@version`` reference."""
+
+
+def parse_reference(reference: str) -> Tuple[str, str]:
+    """Split ``name[@version]`` into ``(name, version)``; bare names mean latest."""
+    if not reference or not isinstance(reference, str):
+        raise ValueError(f"invalid model reference {reference!r}")
+    name, _, version = reference.partition("@")
+    if not name:
+        raise ValueError(f"invalid model reference {reference!r}")
+    return name, (version or LATEST)
+
+
+class ModelRegistry:
+    """Named, versioned servables with an atomically swappable latest pointer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._models: Dict[str, "Dict[str, ServableModel]"] = {}
+        self._latest: Dict[str, str] = {}
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, servable: ServableModel,
+                 version: Optional[str] = None,
+                 make_latest: bool = True) -> str:
+        """Add a servable under ``name`` and return its version string.
+
+        Versions auto-increment (``"1"``, ``"2"``, …) unless given
+        explicitly.  With ``make_latest`` (default) the ``latest`` pointer
+        swings to the new version in the same critical section — the hot
+        swap is one atomic pointer update.
+        """
+        if not isinstance(servable, ServableModel):
+            raise TypeError(f"expected a ServableModel, got {type(servable).__name__}")
+        with self._lock:
+            versions = self._models.setdefault(name, {})
+            if version is None:
+                self._counters[name] = self._counters.get(name, 0) + 1
+                version = str(self._counters[name])
+            else:
+                version = str(version)
+                if version == LATEST:
+                    raise ValueError(f"{LATEST!r} is a reserved version name")
+            if version in versions:
+                raise ValueError(f"model {name!r} already has version {version!r}")
+            versions[version] = servable
+            if make_latest or name not in self._latest:
+                self._latest[name] = version
+            return version
+
+    def load(self, name: str, path: str, version: Optional[str] = None,
+             make_latest: bool = True) -> str:
+        """Load an exported artifact directory and register it."""
+        return self.register(name, load_servable(path), version=version,
+                             make_latest=make_latest)
+
+    def unregister(self, name: str, version: Optional[str] = None) -> None:
+        """Retire one version (or, with ``version=None``, the whole name).
+
+        In-flight requests that already resolved the servable keep their
+        reference; the registry only stops handing it out.
+        """
+        with self._lock:
+            if name not in self._models:
+                raise ModelNotFound(name)
+            if version is None:
+                del self._models[name]
+                self._latest.pop(name, None)
+                return
+            version = str(version)
+            versions = self._models[name]
+            if version not in versions:
+                raise ModelNotFound(f"{name}@{version}")
+            del versions[version]
+            if not versions:
+                del self._models[name]
+                self._latest.pop(name, None)
+            elif self._latest.get(name) == version:
+                # Fall back to the newest remaining registration order.
+                self._latest[name] = next(reversed(versions))
+
+    def set_latest(self, name: str, version: str) -> None:
+        """Atomically repoint ``name@latest`` (e.g. a rollback)."""
+        with self._lock:
+            if name not in self._models or str(version) not in self._models[name]:
+                raise ModelNotFound(f"{name}@{version}")
+            self._latest[name] = str(version)
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self, reference: str) -> Tuple[str, str, ServableModel]:
+        """Resolve ``name[@version]`` to ``(name, concrete_version, servable)``."""
+        name, version = parse_reference(reference)
+        with self._lock:
+            if name not in self._models:
+                raise ModelNotFound(
+                    f"no model named {name!r}; registered: {sorted(self._models)}")
+            if version == LATEST:
+                version = self._latest[name]
+            servable = self._models[name].get(version)
+            if servable is None:
+                raise ModelNotFound(
+                    f"model {name!r} has no version {version!r}; "
+                    f"available: {self.versions(name)}")
+            return name, version, servable
+
+    def versions(self, name: str) -> List[str]:
+        with self._lock:
+            if name not in self._models:
+                raise ModelNotFound(name)
+            return list(self._models[name])
+
+    def latest_version(self, name: str) -> str:
+        with self._lock:
+            if name not in self._latest:
+                raise ModelNotFound(name)
+            return self._latest[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def describe(self) -> Dict[str, dict]:
+        """A JSON-friendly listing of every registered servable."""
+        with self._lock:
+            return {
+                name: {
+                    "latest": self._latest[name],
+                    "versions": {version: servable.describe()
+                                 for version, servable in versions.items()},
+                }
+                for name, versions in self._models.items()
+            }
+
+    def __contains__(self, reference: str) -> bool:
+        try:
+            self.resolve(reference)
+            return True
+        except (ModelNotFound, ValueError):
+            return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._models.values())

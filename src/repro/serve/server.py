@@ -1,0 +1,149 @@
+"""The serving front end: registry-backed, micro-batched prediction.
+
+:class:`Server` is the Python API the HTTP endpoint and the CLI sit on top
+of.  Each registered ``(name, version)`` gets its own :class:`MicroBatcher`
+(created lazily, keyed by the servable's weight fingerprint so caches are
+never shared across different weights); ``submit`` resolves the reference,
+routes the request to that batcher, and returns a future.  Because requests
+hold the resolved servable's batcher, repointing ``name@latest`` mid-flight
+swaps where *new* requests go while old ones finish on the version they
+resolved — a zero-downtime hot swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .artifact import ServableModel, load_servable
+from .batching import BatchingConfig, MicroBatcher
+from .registry import ModelRegistry
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Serve registered end models with dynamic micro-batching.
+
+    Usable as a context manager; :meth:`close` drains every batcher.
+    """
+
+    def __init__(self, registry: Optional[ModelRegistry] = None,
+                 batching: Optional[BatchingConfig] = None):
+        self.registry = registry or ModelRegistry()
+        self.batching = batching or BatchingConfig()
+        #: (name, version) -> (servable, its batcher); the servable is kept
+        #: so a re-registered version is detected by weight fingerprint
+        self._batchers: Dict[Tuple[str, str],
+                             Tuple[ServableModel, MicroBatcher]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Model management (thin passthroughs over the registry)
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, servable: ServableModel,
+                 version: Optional[str] = None, make_latest: bool = True) -> str:
+        return self.registry.register(name, servable, version=version,
+                                      make_latest=make_latest)
+
+    def load(self, name: str, path: str, version: Optional[str] = None,
+             make_latest: bool = True) -> str:
+        return self.registry.register(name, load_servable(path),
+                                      version=version, make_latest=make_latest)
+
+    def _batcher_for(self, name: str, version: str,
+                     servable: ServableModel) -> MicroBatcher:
+        key = (name, version)
+        stale = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("Server is closed")
+            entry = self._batchers.get(key)
+            # A version string can be re-registered with different weights
+            # (unregister + register, e.g. re-publishing a fixed model); the
+            # weight fingerprint detects that and retires the stale batcher
+            # so requests never hit the old model or its cache.
+            if entry is not None and entry[0] is not servable \
+                    and entry[0].fingerprint != servable.fingerprint:
+                stale = entry[1]
+                entry = None
+            if entry is None:
+                entry = (servable,
+                         MicroBatcher(servable.predict_proba,
+                                      config=self.batching,
+                                      cache_salt=servable.fingerprint))
+                self._batchers[key] = entry
+        if stale is not None:
+            stale.close()   # outside the lock; queued requests still answer
+        return entry[1]
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def submit(self, inputs: np.ndarray,
+               model: str = "default") -> "Future[np.ndarray]":
+        """Route one request to ``model``'s batcher; resolves to probabilities.
+
+        ``inputs`` is one example ``(d,)`` or a block ``(n, d)``; the future
+        carries the matching ``(k,)`` / ``(n, k)`` class-probability rows.
+        """
+        name, version, servable = self.registry.resolve(model)
+        return self._batcher_for(name, version, servable).submit(inputs)
+
+    def predict(self, inputs: np.ndarray, model: str = "default",
+                return_probabilities: bool = False,
+                timeout: Optional[float] = None) -> dict:
+        """Blocking prediction returning a JSON-friendly response dict."""
+        name, version, servable = self.registry.resolve(model)
+        batcher = self._batcher_for(name, version, servable)
+        array = np.asarray(inputs)
+        single = array.ndim == 1
+        probabilities = batcher.submit(array).result(timeout=timeout)
+        rows = probabilities[None, :] if single else probabilities
+        indices = rows.argmax(axis=1)
+        response = {
+            "model": name,
+            "version": version,
+            "predictions": [int(i) for i in indices],
+            "labels": [servable.class_names[i] for i in indices],
+        }
+        if return_probabilities:
+            response["probabilities"] = [[float(p) for p in row]
+                                         for row in rows]
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, dict]:
+        with self._lock:
+            return {f"{name}@{version}": entry[1].stats()
+                    for (name, version), entry in self._batchers.items()}
+
+    def describe(self) -> dict:
+        return {"models": self.registry.describe(),
+                "batching": {
+                    "max_batch_size": self.batching.max_batch_size,
+                    "max_latency_ms": self.batching.max_latency_ms,
+                    "cache_size": self.batching.cache_size,
+                },
+                "stats": self.stats()}
+
+    def close(self) -> None:
+        """Drain and stop every batcher (queued requests are still answered)."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._batchers.values())
+            self._batchers.clear()
+        for _, batcher in entries:
+            batcher.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

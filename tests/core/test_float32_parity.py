@@ -1,12 +1,15 @@
-"""Float32-vs-float64 accuracy parity over a small benchmark-grid sample.
+"""Float32-vs-float64 accuracy parity over the benchmark grid.
 
-ROADMAP open item: the float32 fast mode is opt-in until its accuracy is
-shown to match float64 across workloads.  This test is the evidence gate —
-it runs the full pipeline on two synthetic workloads (two target datasets of
-the benchmark grid) in both engine dtypes and requires the final ensemble
-and end-model accuracies to agree within a small tolerance.  Training under
-float32 takes different round-off paths, so exact equality is not expected;
-what matters is that the *quality* of the system is dtype-invariant.
+ROADMAP open item (closed by this grid): the float32 fast mode was opt-in
+until its accuracy was shown to match float64 across workloads.  This test
+is the evidence gate — it runs the full pipeline on every target dataset of
+the benchmark grid, under both backbones, in both engine dtypes, and
+requires the final ensemble and end-model accuracies to agree within a
+small tolerance.  Training under float32 takes different round-off paths,
+so exact equality is not expected; what matters is that the *quality* of
+the system is dtype-invariant.  With the grid covered, the experiment
+runner's TAGLETS methods now default to float32
+(:func:`repro.evaluation.runner.taglets_method`).
 """
 
 import numpy as np
@@ -20,7 +23,15 @@ from repro.modules import (MultiTaskConfig, MultiTaskModule, TransferConfig,
 #: |accuracy(float64) - accuracy(float32)| must stay within this band.
 TOLERANCE = 0.1
 
-WORKLOADS = ["fmd", "grocery_store"]
+#: Every target dataset of the benchmark grid, with both pretrained
+#: backbones represented across the sweep.
+WORKLOADS = [
+    ("fmd", "resnet50"),
+    ("grocery_store", "resnet50"),
+    ("officehome_product", "resnet50"),
+    ("officehome_clipart", "bit"),
+    ("fmd", "bit"),
+]
 
 
 def _fast_modules():
@@ -32,15 +43,17 @@ def _fast_modules():
     ]
 
 
-@pytest.fixture(scope="module", params=WORKLOADS)
-def parity_accuracies(request, tiny_workspace, tiny_backbone):
-    """(float64, float32) accuracy pairs for one workload."""
-    split = tiny_workspace.make_task_split(request.param, shots=5,
-                                           split_seed=0)
+@pytest.fixture(scope="module", params=WORKLOADS,
+                ids=[f"{d}-{b}" for d, b in WORKLOADS])
+def parity_accuracies(request, tiny_workspace):
+    """(float64, float32) accuracy pairs for one (dataset, backbone) cell."""
+    dataset, backbone_name = request.param
+    split = tiny_workspace.make_task_split(dataset, shots=5, split_seed=0)
+    backbone = tiny_workspace.backbone(backbone_name)
     results = {"num_classes": split.num_classes}
     for dtype in (None, "float32"):
         task = Task.from_split(split, scads=tiny_workspace.scads,
-                               backbone=tiny_backbone,
+                               backbone=backbone,
                                wanted_num_related_class=3,
                                images_per_related_class=8)
         config = ControllerConfig(end_model=EndModelConfig(epochs=15),
@@ -53,7 +66,7 @@ def parity_accuracies(request, tiny_workspace, tiny_backbone):
             "ensemble": result.ensemble_accuracy(split.test_features,
                                                  split.test_labels),
         }
-    return request.param, results
+    return f"{dataset}/{backbone_name}", results
 
 
 class TestFloat32AccuracyParity:

@@ -1,0 +1,75 @@
+"""Fixtures for the serving tests.
+
+Two kinds of servables are used: hand-built :class:`EndModel`s (fast,
+deterministic — most batching/registry tests) and one genuinely trained
+pipeline artifact (the offline-vs-served bit-identity tests, which must
+exercise the real train → export → serve path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backbones.backbone import BackboneSpec, ClassificationModel, Encoder
+from repro.core import Controller, ControllerConfig, Task
+from repro.distill import EndModel, EndModelConfig
+from repro.modules import MultiTaskConfig, MultiTaskModule
+from repro.serve import export_end_model, load_servable
+
+SPEC = BackboneSpec(name="resnet50", input_dim=24, hidden_dims=(48, 32),
+                    feature_dim=32)
+NUM_CLASSES = 7
+CLASS_NAMES = [f"class_{i}" for i in range(NUM_CLASSES)]
+
+
+def make_end_model(seed: int = 0, num_classes: int = NUM_CLASSES) -> EndModel:
+    """A structurally faithful end model with reproducible random weights."""
+    encoder = Encoder(SPEC, rng=np.random.default_rng(seed))
+    model = ClassificationModel(encoder, num_classes,
+                                rng=np.random.default_rng(seed + 1))
+    return EndModel(model)
+
+
+@pytest.fixture()
+def end_model() -> EndModel:
+    return make_end_model()
+
+
+@pytest.fixture()
+def artifact_dir(tmp_path, end_model) -> str:
+    path = str(tmp_path / "artifact")
+    export_end_model(end_model, path, class_names=CLASS_NAMES,
+                     metrics={"test_accuracy": 0.91})
+    return path
+
+
+@pytest.fixture()
+def servable(artifact_dir):
+    return load_servable(artifact_dir)
+
+
+@pytest.fixture()
+def features() -> np.ndarray:
+    return np.random.default_rng(7).normal(size=(64, SPEC.input_dim))
+
+
+@pytest.fixture(scope="module")
+def trained_export(tmp_path_factory, tiny_workspace, tiny_backbone):
+    """One real pipeline run exported through the Controller hook.
+
+    Returns ``(result, split, path)`` — the offline result, its task split,
+    and the exported artifact directory.
+    """
+    split = tiny_workspace.make_task_split("fmd", shots=5, split_seed=0)
+    task = Task.from_split(split, scads=tiny_workspace.scads,
+                           backbone=tiny_backbone,
+                           wanted_num_related_class=3,
+                           images_per_related_class=8)
+    path = str(tmp_path_factory.mktemp("served") / "fmd-endmodel")
+    config = ControllerConfig(end_model=EndModelConfig(epochs=8),
+                              export_path=path, seed=0)
+    controller = Controller(modules=[MultiTaskModule(MultiTaskConfig(epochs=4))],
+                            config=config)
+    result = controller.run(task)
+    return result, split, path

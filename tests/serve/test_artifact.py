@@ -1,0 +1,175 @@
+"""Tests for the versioned servable artifact format."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import default_dtype
+from repro.serve import (ArtifactError, SCHEMA_VERSION, export_end_model,
+                         load_servable, read_manifest)
+from repro.serve.artifact import MANIFEST_NAME, WEIGHTS_NAME
+
+from .conftest import CLASS_NAMES, NUM_CLASSES, SPEC, make_end_model
+
+
+class TestExport:
+    def test_writes_manifest_and_weights(self, artifact_dir):
+        assert os.path.exists(os.path.join(artifact_dir, MANIFEST_NAME))
+        assert os.path.exists(os.path.join(artifact_dir, WEIGHTS_NAME))
+
+    def test_manifest_contents(self, artifact_dir):
+        manifest = read_manifest(artifact_dir)
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["format"] == "taglets-end-model"
+        assert manifest["class_names"] == CLASS_NAMES
+        assert manifest["num_classes"] == NUM_CLASSES
+        assert manifest["backbone"]["name"] == SPEC.name
+        assert manifest["backbone"]["hidden_dims"] == list(SPEC.hidden_dims)
+        assert manifest["dtype"] == "float64"
+        assert manifest["metrics"]["test_accuracy"] == 0.91
+        assert manifest["num_parameters"] > 0
+        # Every weight is described without opening the archive.
+        assert set(manifest["weights"]) and all(
+            {"shape", "dtype"} <= set(entry)
+            for entry in manifest["weights"].values())
+
+    def test_class_name_count_must_match(self, tmp_path, end_model):
+        with pytest.raises(ValueError, match="class names"):
+            export_end_model(end_model, str(tmp_path / "bad"),
+                             class_names=["just_one"])
+
+    def test_bare_end_model_requires_class_names(self, tmp_path, end_model):
+        with pytest.raises(ValueError, match="class_names"):
+            export_end_model(end_model, str(tmp_path / "bad"))
+
+    def test_rejects_non_end_model(self, tmp_path):
+        with pytest.raises(TypeError):
+            export_end_model(object(), str(tmp_path / "bad"),
+                             class_names=CLASS_NAMES)
+
+
+class TestRoundTrip:
+    def test_float64_predictions_bit_identical(self, end_model, servable,
+                                               features):
+        offline = end_model.predict_proba(features, batch_size=None)
+        assert np.array_equal(servable.predict_proba(features), offline)
+        assert np.array_equal(servable.predict(features),
+                              offline.argmax(axis=1))
+
+    def test_float32_round_trip(self, tmp_path, features):
+        """Export/load under the float32 fast mode stays bit-identical."""
+        with default_dtype("float32"):
+            end_model = make_end_model(seed=3)
+            offline = end_model.predict_proba(
+                np.asarray(features, dtype=np.float32), batch_size=None)
+            path = export_end_model(end_model, str(tmp_path / "f32"),
+                                    class_names=CLASS_NAMES)
+        servable = load_servable(path)
+        assert servable.dtype == np.float32
+        # Served from a float64-default process, the servable still runs
+        # in its own dtype and reproduces offline float32 inference exactly.
+        served = servable.predict_proba(features)
+        assert served.dtype == np.float32
+        assert np.array_equal(served, offline)
+
+    def test_single_row_matches_batched_rows(self, servable, features):
+        """The gemv/gemm split must not leak into served results."""
+        full = servable.predict_proba(features)
+        row = servable.predict_proba(features[:1])
+        assert np.array_equal(row, full[:1])
+
+    def test_predict_names(self, servable, features):
+        names = servable.predict_names(features[:5])
+        indices = servable.predict(features[:5])
+        assert names == [CLASS_NAMES[i] for i in indices]
+
+    def test_describe_is_json_serializable(self, servable):
+        description = servable.describe()
+        assert json.dumps(description)
+        assert description["fingerprint"] == servable.fingerprint
+
+
+class TestValidation:
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no servable artifact"):
+            load_servable(str(tmp_path / "nope"))
+
+    def test_corrupt_manifest(self, artifact_dir):
+        with open(os.path.join(artifact_dir, MANIFEST_NAME), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(ArtifactError, match="corrupt manifest"):
+            load_servable(artifact_dir)
+
+    def test_unknown_schema_version(self, artifact_dir):
+        manifest_path = os.path.join(artifact_dir, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="schema version"):
+            load_servable(artifact_dir)
+
+    def test_missing_required_key(self, artifact_dir):
+        manifest_path = os.path.join(artifact_dir, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        del manifest["weights_digest"]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="missing required keys"):
+            load_servable(artifact_dir)
+
+    def test_tampered_weights_fail_digest(self, artifact_dir):
+        weights_path = os.path.join(artifact_dir, WEIGHTS_NAME)
+        state = np.load(weights_path)
+        tampered = {name: state[name].copy() for name in state.files}
+        first = next(iter(tampered))
+        tampered[first] = tampered[first] + 1.0
+        np.savez(weights_path, **tampered)
+        with pytest.raises(ArtifactError, match="digest"):
+            load_servable(artifact_dir)
+
+    def test_digest_check_can_be_skipped(self, artifact_dir):
+        weights_path = os.path.join(artifact_dir, WEIGHTS_NAME)
+        state = np.load(weights_path)
+        tampered = {name: state[name].copy() for name in state.files}
+        first = next(iter(tampered))
+        tampered[first] = tampered[first] + 1.0
+        np.savez(weights_path, **tampered)
+        assert load_servable(artifact_dir, verify_digest=False) is not None
+
+    def test_wrong_architecture_names_parameter(self, tmp_path, artifact_dir):
+        """A weights/manifest mismatch fails with the offending key named."""
+        manifest_path = os.path.join(artifact_dir, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["backbone"]["hidden_dims"] = [8]   # not what the weights hold
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="encoder.trunk"):
+            load_servable(artifact_dir, verify_digest=False)
+
+
+class TestPipelineExport:
+    """The real train → export hook → load path (Controller.export_path)."""
+
+    def test_served_bit_identical_to_offline_end_model(self, trained_export):
+        result, split, path = trained_export
+        servable = load_servable(path)
+        offline = result.end_model.predict_proba(split.test_features,
+                                                 batch_size=None)
+        assert np.array_equal(servable.predict_proba(split.test_features),
+                              offline)
+
+    def test_manifest_records_task_metadata(self, trained_export):
+        result, split, path = trained_export
+        manifest = read_manifest(path)
+        assert manifest["class_names"] == [c.name for c in split.classes]
+        assert manifest["task_name"] == result.task_name
+        offline_accuracy = result.end_model_accuracy(split.test_features,
+                                                     split.test_labels)
+        assert manifest["metrics"]["test_accuracy"] == pytest.approx(
+            offline_accuracy)

@@ -1,0 +1,257 @@
+"""Tests for the dynamic micro-batching engine."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingConfig, MicroBatcher, input_digest
+
+
+def square_rows(batch: np.ndarray) -> np.ndarray:
+    """A stand-in 'model': rows are independent, like any batched forward."""
+    return np.stack([row * row for row in batch])
+
+
+class TestConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingConfig(max_latency_ms=-1)
+        with pytest.raises(ValueError):
+            BatchingConfig(cache_size=-1)
+
+
+class TestFanOutFanIn:
+    def test_single_example_requests(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(50, 6))
+        with MicroBatcher(square_rows, BatchingConfig(cache_size=0)) as batcher:
+            futures = [batcher.submit(row) for row in inputs]
+            results = np.stack([f.result(timeout=10) for f in futures])
+        assert np.array_equal(results, inputs * inputs)
+
+    def test_multi_row_requests_keep_shape(self):
+        rng = np.random.default_rng(1)
+        blocks = [rng.normal(size=(n, 4)) for n in (1, 3, 7, 2)]
+        with MicroBatcher(square_rows, BatchingConfig(cache_size=0)) as batcher:
+            futures = [batcher.submit(block) for block in blocks]
+            for block, future in zip(blocks, futures):
+                result = future.result(timeout=10)
+                assert result.shape == block.shape
+                assert np.array_equal(result, block * block)
+
+    def test_requests_actually_get_batched(self):
+        """Many queued requests must collapse into far fewer forwards."""
+        calls = []
+
+        def record(batch):
+            calls.append(len(batch))
+            return batch.copy()
+
+        config = BatchingConfig(max_batch_size=16, max_latency_ms=50,
+                                cache_size=0, pad_to_max_batch=False)
+        rng = np.random.default_rng(2)
+        inputs = rng.normal(size=(64, 3))
+        with MicroBatcher(record, config) as batcher:
+            futures = [batcher.submit(row) for row in inputs]
+            for future in futures:
+                future.result(timeout=10)
+        stats_batches = len(calls)
+        assert stats_batches < 64              # genuinely fused
+        assert max(calls) <= 16                # respects max_batch_size
+        assert sum(calls) == 64                # nothing lost or duplicated
+
+    def test_padded_forwards_run_at_the_fixed_quantum(self):
+        """With padding on (the default), every model call sees exactly
+        ``max_batch_size`` rows regardless of traffic."""
+        calls = []
+
+        def record(batch):
+            calls.append(len(batch))
+            return batch.copy()
+
+        config = BatchingConfig(max_batch_size=8, max_latency_ms=5,
+                                cache_size=0)
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(21, 3))
+        with MicroBatcher(record, config) as batcher:
+            futures = [batcher.submit(row) for row in inputs]
+            results = np.stack([f.result(timeout=10) for f in futures])
+        assert set(calls) == {8}               # every forward at the quantum
+        assert np.array_equal(results, inputs)  # padding never leaks out
+
+    def test_max_latency_flushes_partial_batches(self):
+        config = BatchingConfig(max_batch_size=1024, max_latency_ms=5,
+                                cache_size=0)
+        with MicroBatcher(square_rows, config) as batcher:
+            start = time.perf_counter()
+            result = batcher.submit(np.ones(3)).result(timeout=10)
+            elapsed = time.perf_counter() - start
+        assert np.array_equal(result, np.ones(3))
+        assert elapsed < 5.0  # the deadline, not the full queue, flushed it
+
+    def test_concurrent_submitters(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(200, 5))
+        results = np.zeros_like(inputs)
+        errors = []
+
+        with MicroBatcher(square_rows,
+                          BatchingConfig(max_batch_size=32,
+                                         cache_size=0)) as batcher:
+
+            def client(indices):
+                try:
+                    for i in indices:
+                        results[i] = batcher.predict(inputs[i], timeout=10)
+                except Exception as error:  # pragma: no cover - reporting
+                    errors.append(error)
+
+            threads = [threading.Thread(target=client,
+                                        args=(range(k, 200, 4),))
+                       for k in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert np.array_equal(results, inputs * inputs)
+
+
+class TestErrorsAndLifecycle:
+    def test_forward_failure_propagates_to_every_future(self):
+        def explode(batch):
+            raise RuntimeError("model fell over")
+
+        with MicroBatcher(explode, BatchingConfig(cache_size=0)) as batcher:
+            futures = [batcher.submit(np.ones(2)) for _ in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="fell over"):
+                    future.result(timeout=10)
+
+    def test_failure_does_not_kill_the_worker(self):
+        state = {"fail": True}
+
+        def flaky(batch):
+            if state["fail"]:
+                state["fail"] = False
+                raise RuntimeError("transient")
+            return batch.copy()
+
+        with MicroBatcher(flaky, BatchingConfig(cache_size=0)) as batcher:
+            with pytest.raises(RuntimeError):
+                batcher.predict(np.ones(2), timeout=10)
+            assert np.array_equal(batcher.predict(np.ones(2), timeout=10),
+                                  np.ones(2))
+
+    def test_rejects_bad_shapes(self):
+        with MicroBatcher(square_rows) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit(np.ones((2, 2, 2)))
+            with pytest.raises(ValueError):
+                batcher.submit(np.ones((0, 4)))
+
+    def test_submit_close_race_never_strands_a_future(self):
+        """A future obtained from submit() always resolves, even when
+        close() lands concurrently — late submits raise instead of hanging."""
+        for trial in range(20):
+            batcher = MicroBatcher(square_rows,
+                                   BatchingConfig(max_latency_ms=0,
+                                                  cache_size=0))
+            futures, errors = [], []
+
+            def submitter():
+                try:
+                    for _ in range(50):
+                        futures.append(batcher.submit(np.ones(2)))
+                except RuntimeError:
+                    pass   # closed mid-stream: acceptable, just never hang
+                except Exception as error:  # pragma: no cover - reporting
+                    errors.append(error)
+
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            batcher.close()
+            thread.join(timeout=10)
+            assert not errors
+            for future in futures:
+                assert np.array_equal(future.result(timeout=5), np.ones(2))
+
+    def test_close_answers_queued_work_then_rejects_new(self):
+        batcher = MicroBatcher(square_rows, BatchingConfig(cache_size=0))
+        future = batcher.submit(np.ones(3))
+        batcher.close()
+        assert np.array_equal(future.result(timeout=10), np.ones(3))
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(np.ones(3))
+
+
+class TestCache:
+    def test_repeat_requests_hit_the_cache(self):
+        calls = []
+
+        def record(batch):
+            calls.append(len(batch))
+            return batch * batch
+
+        x = np.arange(4, dtype=np.float64)
+        with MicroBatcher(record, BatchingConfig(cache_size=8)) as batcher:
+            first = batcher.predict(x, timeout=10)
+            second = batcher.predict(x, timeout=10)
+            stats = batcher.stats()
+        assert np.array_equal(first, second)
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert len(calls) == 1  # the second request never reached the model
+
+    def test_distinct_inputs_do_not_collide(self):
+        with MicroBatcher(square_rows, BatchingConfig(cache_size=8)) as batcher:
+            a = batcher.predict(np.full(3, 2.0), timeout=10)
+            b = batcher.predict(np.full(3, 3.0), timeout=10)
+            stats = batcher.stats()
+        assert np.array_equal(a, np.full(3, 4.0))
+        assert np.array_equal(b, np.full(3, 9.0))
+        assert stats["cache_hits"] == 0
+
+    def test_lru_eviction(self):
+        with MicroBatcher(square_rows, BatchingConfig(cache_size=2)) as batcher:
+            x0, x1, x2 = (np.full(2, float(v)) for v in (1, 2, 3))
+            batcher.predict(x0, timeout=10)
+            batcher.predict(x1, timeout=10)
+            batcher.predict(x2, timeout=10)   # evicts x0
+            batcher.predict(x0, timeout=10)   # miss again
+            stats = batcher.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 4
+
+    def test_mutating_a_result_never_corrupts_the_cache(self):
+        x = np.arange(4, dtype=np.float64)
+        with MicroBatcher(square_rows, BatchingConfig(cache_size=8)) as batcher:
+            first = batcher.predict(x, timeout=10)
+            first *= 0.0                          # caller post-processes in place
+            second = batcher.predict(x, timeout=10)
+            assert batcher.stats()["cache_hits"] == 1
+            assert np.array_equal(second, x * x)  # served value untouched
+            second += 1.0                         # hits are fresh copies too
+            third = batcher.predict(x, timeout=10)
+            assert np.array_equal(third, x * x)
+
+    def test_cache_disabled(self):
+        x = np.ones(3)
+        with MicroBatcher(square_rows, BatchingConfig(cache_size=0)) as batcher:
+            batcher.predict(x, timeout=10)
+            batcher.predict(x, timeout=10)
+            stats = batcher.stats()
+        assert stats["cache_hits"] == 0 and stats["cache_misses"] == 0
+        assert stats["batches"] == 2
+
+    def test_digest_depends_on_salt_shape_dtype_and_bytes(self):
+        x = np.arange(6, dtype=np.float64)
+        assert input_digest(x) == input_digest(x.copy())
+        assert input_digest(x) != input_digest(x.reshape(2, 3))
+        assert input_digest(x) != input_digest(x.astype(np.float32))
+        assert input_digest(x) != input_digest(x + 1)
+        assert input_digest(x, "model-a") != input_digest(x, "model-b")

@@ -1,0 +1,161 @@
+"""Tests for the Server front end and the JSON/HTTP endpoint."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingConfig, Server, start_http_server
+
+
+@pytest.fixture()
+def server(artifact_dir):
+    # A generous latency window so concurrent test clients reliably fuse
+    # into shared batches even on a slow single-CPU runner.
+    app = Server(batching=BatchingConfig(max_batch_size=16, max_latency_ms=20))
+    app.load("default", artifact_dir)
+    yield app
+    app.close()
+
+
+class TestServerApi:
+    def test_predict_response_shape(self, server, servable, features):
+        response = server.predict(features[:3], return_probabilities=True)
+        assert response["model"] == "default"
+        assert response["version"] == "1"
+        assert response["predictions"] == servable.predict(features[:3]).tolist()
+        assert response["labels"] == servable.predict_names(features[:3])
+        assert np.array_equal(np.asarray(response["probabilities"]),
+                              servable.predict_proba(features[:3]))
+
+    def test_single_example_request(self, server, servable, features):
+        response = server.predict(features[0])
+        assert len(response["predictions"]) == 1
+        assert response["predictions"][0] == int(servable.predict(features[:1])[0])
+
+    def test_submit_returns_probability_future(self, server, servable, features):
+        future = server.submit(features[:5])
+        assert np.array_equal(future.result(timeout=10),
+                              servable.predict_proba(features[:5]))
+
+    def test_served_bit_identical_to_offline(self, server, end_model,
+                                             servable, features):
+        """The acceptance criterion: serving never changes a prediction.
+
+        Served rows are bit-identical to offline inference at the serving
+        batch quantum (every forward runs at exactly ``max_batch_size``
+        rows), and match the end model's full-batch offline probabilities
+        to BLAS round-off.
+        """
+        quantized = servable.predict_proba(features, batch_size=16)
+        futures = [server.submit(row) for row in features]
+        served = np.stack([f.result(timeout=10) for f in futures])
+        assert np.array_equal(served, quantized)
+        offline = end_model.predict_proba(features, batch_size=None)
+        assert np.allclose(served, offline, rtol=1e-12, atol=1e-14)
+        assert np.array_equal(served.argmax(axis=1), offline.argmax(axis=1))
+
+    def test_unknown_model(self, server, features):
+        from repro.serve import ModelNotFound
+        with pytest.raises(ModelNotFound):
+            server.predict(features[:1], model="ghost")
+
+    def test_stats_and_describe(self, server, features):
+        server.predict(features[:2])
+        stats = server.stats()
+        assert stats["default@1"]["requests"] >= 1
+        description = server.describe()
+        assert json.dumps(description)
+        assert description["batching"]["max_batch_size"] == 16
+
+    def test_closed_server_rejects_requests(self, artifact_dir, features):
+        app = Server()
+        app.load("default", artifact_dir)
+        app.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            app.predict(features[:1])
+
+
+class TestHttpEndpoint:
+    @pytest.fixture()
+    def endpoint(self, server):
+        httpd, thread = start_http_server(server, port=0)
+        port = httpd.server_address[1]
+        yield f"http://127.0.0.1:{port}"
+        httpd.shutdown()
+
+    def _post(self, url, payload, timeout=10):
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{url}/predict", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+
+    def test_health_models_stats(self, endpoint):
+        with urllib.request.urlopen(f"{endpoint}/healthz", timeout=10) as r:
+            assert json.loads(r.read()) == {"status": "ok"}
+        with urllib.request.urlopen(f"{endpoint}/models", timeout=10) as r:
+            models = json.loads(r.read())
+        assert models["default"]["latest"] == "1"
+        with urllib.request.urlopen(f"{endpoint}/stats", timeout=10) as r:
+            assert "batching" in json.loads(r.read())
+
+    def test_predict_round_trip(self, endpoint, servable, features):
+        response = self._post(endpoint, {"inputs": features[:4].tolist(),
+                                         "return_probabilities": True})
+        assert response["predictions"] == servable.predict(features[:4]).tolist()
+        assert np.allclose(response["probabilities"],
+                           servable.predict_proba(features[:4]))
+
+    def test_concurrent_http_clients_fuse_into_batches(self, endpoint, server,
+                                                       servable, features):
+        offline = servable.predict_proba(features, batch_size=16)
+        results = [None] * len(features)
+        errors = []
+
+        def client(i):
+            try:
+                results[i] = self._post(
+                    endpoint, {"inputs": [features[i].tolist()],
+                               "return_probabilities": True})
+            except Exception as error:  # pragma: no cover - reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(features))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        served = np.concatenate([np.asarray(r["probabilities"])
+                                 for r in results])
+        assert np.array_equal(served, offline)
+        stats = server.stats()["default@1"]
+        assert stats["batches"] < stats["requests"]  # genuinely micro-batched
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({}, "missing 'inputs'"),
+        ({"inputs": "not numbers"}, "numeric"),
+        ({"inputs": []}, "non-empty"),
+    ])
+    def test_bad_requests_are_400(self, endpoint, payload, fragment):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(endpoint, payload)
+        assert excinfo.value.code == 400
+        assert fragment in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_model_is_404(self, endpoint, features):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(endpoint, {"model": "ghost",
+                                  "inputs": features[:1].tolist()})
+        assert excinfo.value.code == 404
+
+    def test_unknown_path_is_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{endpoint}/nope", timeout=10)
+        assert excinfo.value.code == 404
