@@ -1,0 +1,92 @@
+"""Replay smoke check for CI: the FixMatch two-view loop must replay.
+
+Runs the FixMatch consistency loop (pseudo-label forward + two-view
+weighted-sum step, exactly as ``repro.modules.fixmatch`` drives it) with the
+graph replay executor forced on, and fails if:
+
+* any step falls back to eager (``ReplayStats.fallback_count > 0``) — the
+  regression this PR exists to catch;
+* the replayed loop is slower than the fused eager loop (ratio < 1.0);
+* the replayed parameters are not bit-identical to the eager ones.
+
+Perf ratios are advisory on shared CI runners (the workflow step uses
+``continue-on-error``); the fallback and bit-identity checks are exact
+everywhere.  Run with ``PYTHONPATH=src python benchmarks/replay_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.modules.fixmatch import consistency_step
+from repro.nn import MLP, GraphReplay, ReplayStats, SGD, default_dtype
+
+STEPS = 150
+L, U, D, C = 20, 64, 24, 10
+
+
+def _run_loop(replay: bool, stats: ReplayStats):
+    """The FixMatch two-view loop; returns (params, wall-clock seconds)."""
+    with default_dtype(np.float32):
+        dt = np.dtype(np.float32)
+        rng = np.random.default_rng(0)
+        labeled_x = rng.normal(size=(L, D)).astype(dt)
+        labeled_y = rng.integers(0, C, size=L)
+        unlabeled_x = rng.normal(size=(U, D)).astype(dt)
+        strong_x = rng.normal(size=(U, D)).astype(dt)
+        cons_w = np.asarray(1.0, dtype=dt)
+        model = MLP(D, [48, 32], C, rng=np.random.default_rng(1))
+        optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9,
+                        nesterov=True)
+        stepper = GraphReplay(model, optimizer, enabled=replay, stats=stats)
+        model.train()
+        start = time.perf_counter()
+        for _ in range(STEPS):
+            consistency_step(stepper, model, labeled_x, labeled_y,
+                             unlabeled_x, strong_x, cons_w, 0.6, dt)
+        elapsed = time.perf_counter() - start
+        return [p.data.copy() for p in model.parameters()], elapsed
+
+
+def main() -> int:
+    replay_stats = ReplayStats()
+    eager_stats = ReplayStats()
+    # Warm-up, then best-of-3 on each path (shared-runner noise suppression).
+    _run_loop(True, ReplayStats())
+    replay_secs, eager_secs = [], []
+    for _ in range(3):
+        replay_params, secs = _run_loop(True, replay_stats)
+        replay_secs.append(secs)
+        eager_params, secs = _run_loop(False, eager_stats)
+        eager_secs.append(secs)
+    ratio = min(eager_secs) / min(replay_secs)
+
+    print(f"replay stats: {replay_stats}")
+    print(f"replay {STEPS / min(replay_secs):.0f} steps/s, "
+          f"eager {STEPS / min(eager_secs):.0f} steps/s, "
+          f"ratio {ratio:.2f}x")
+
+    failures = []
+    if replay_stats.fallback_count or replay_stats.eager_steps:
+        failures.append(f"replay fell back to eager: {replay_stats.fallbacks}")
+    if replay_stats.replays == 0:
+        failures.append("nothing replayed")
+    for got, want in zip(replay_params, eager_params):
+        if not np.array_equal(got, want):
+            failures.append("replayed parameters differ from eager")
+            break
+    if ratio < 1.0:
+        failures.append(f"replay slower than eager ({ratio:.2f}x < 1.0x)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("replay smoke: OK (zero fallbacks, bit-identical, "
+              f"{ratio:.2f}x)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..nn.replay import ReplayStats, collect_replay_stats
 from ..nn.tensor import default_dtype, use_graph_replay
 
 from ..distill.end_model import EndModel, EndModelConfig, train_end_model
@@ -78,6 +79,15 @@ class ControllerConfig:
     #: back automatically (see docs/performance.md).  Same process-global
     #: scope caveat as ``dtype``.
     replay: Optional[bool] = None
+    #: optional shared :class:`~repro.nn.replay.ReplayStats` counter: when
+    #: set, every training loop in the run (module fine-tuning, the ZSL-KG
+    #: pretrain, FixMatch's two-view step, end-model distillation) reports
+    #: its captures / replays / eager fallbacks (with reasons) into it —
+    #: including loops run by the parallel controller's worker threads.
+    #: Turns the executor's silent eager fallback into an observable signal:
+    #: on static loops ``replay_stats.fallback_count`` must stay zero
+    #: (asserted by ``tests/nn/test_replay_pipeline.py``).
+    replay_stats: Optional[ReplayStats] = None
     #: if set, ``run()`` exports the distilled end model as a versioned
     #: servable artifact at this directory (see :mod:`repro.serve.artifact`)
     #: — the train-to-deploy hook.  Test accuracy is recorded in the
@@ -201,7 +211,10 @@ class Controller:
                        if self.config.dtype is not None else nullcontext())
         replay_scope = (use_graph_replay(self.config.replay)
                         if self.config.replay is not None else nullcontext())
-        with dtype_scope, replay_scope:
+        stats_scope = (collect_replay_stats(self.config.replay_stats)
+                       if self.config.replay_stats is not None
+                       else nullcontext())
+        with dtype_scope, replay_scope, stats_scope:
             auxiliary = self.select_auxiliary_data(task)
             taglets = self.train_taglets(task, auxiliary)
             ensemble = TagletEnsemble(taglets)

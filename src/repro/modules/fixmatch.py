@@ -7,6 +7,15 @@ predict that label on a strongly augmented view.  Under very limited labels
 this suffers from confirmation bias, so — as in the paper — the module first
 fine-tunes the backbone on the SCADS-selected auxiliary data ``R`` before
 running FixMatch on the target task.
+
+The consistency step expresses the confidence threshold as per-sample
+weights over the *full* strong batch (weight zero = pseudo label rejected,
+which zeroes that row's loss and gradient exactly) instead of a row
+selection, so the step's tensor shapes are static and the whole two-view
+update — shared model applied to both views, two losses, weighted sum —
+compiles through the graph replay executor (:mod:`repro.nn.replay`) and
+replays as raw NumPy kernels, bit-identical to running the same step
+eagerly.
 """
 
 from __future__ import annotations
@@ -20,13 +29,14 @@ from ..backbones.backbone import ClassificationModel
 from ..nn import functional as F
 from ..nn.data import ArrayDataset, DataLoader, UnlabeledDataset
 from ..nn.optim import SGD
+from ..nn.replay import GraphReplay
 from ..nn.schedulers import FixMatchCosineLR
-from ..nn.tensor import Tensor, inference_mode
+from ..nn.tensor import get_default_dtype
 from ..nn.training import TrainConfig, iterate_forever, train_classifier
 from ..nn.transforms import strong_augment, weak_augment
 from .base import ModelTaglet, ModuleInput, Taglet, TrainingModule
 
-__all__ = ["FixMatchConfig", "FixMatchModule"]
+__all__ = ["FixMatchConfig", "FixMatchModule", "consistency_step"]
 
 
 @dataclass
@@ -53,6 +63,56 @@ class FixMatchConfig:
     #: weight of the unlabeled consistency loss
     unlabeled_loss_weight: float = 1.0
     use_aux_pretraining: bool = True
+    #: graph capture/replay executor for every training phase (auxiliary
+    #: fine-tuning, head warm-up, and the two-view consistency step):
+    #: ``None`` follows the engine-wide flag, ``True``/``False`` force it —
+    #: mirroring ``TrainConfig.replay``
+    replay: Optional[bool] = None
+
+
+def consistency_step(stepper, model, weak_labeled, labeled_y, weak_unlabeled,
+                     strong_unlabeled, cons_weight, threshold, dtype):
+    """One full FixMatch consistency step through the replay executor.
+
+    Pseudo-labels the weakly augmented unlabeled view with a compiled
+    inference forward, converts the confidence threshold into per-sample
+    weights, and runs the two-view update (:func:`_two_view_step`) as one
+    compiled DAG step.  The single driver shared by the training loop in
+    :class:`FixMatchModule` and by the replay benchmarks/smoke checks, so
+    what they measure is exactly what the pipeline executes.
+    """
+    model.eval()
+    weak_logits = stepper.forward(weak_unlabeled)
+    model.train()
+    weak_probs = _softmax(weak_logits)
+    mask_w = (weak_probs.max(axis=1) >= threshold).astype(dtype)
+    return stepper.step_fn(_two_view_step, {
+        "weak_x": weak_labeled,
+        "labels": labeled_y,
+        "strong_x": strong_unlabeled,
+        "pseudo": weak_probs.argmax(axis=1),
+        "mask_w": mask_w,
+        "cons_w": cons_weight,
+    })
+
+
+def _two_view_step(model, batch):
+    """One FixMatch consistency step as a replayable step function.
+
+    Supervised cross entropy on the weakly augmented labeled view plus the
+    weighted consistency loss on the strongly augmented unlabeled view,
+    where the confidence mask enters as per-sample weights (zero weight =
+    pseudo label rejected).  Shapes are static across steps, so the graph
+    replay executor compiles this once per batch signature and replays raw
+    kernels for the rest of training (``tests/nn/test_replay_dag.py``
+    asserts the replays are bit-identical to running this function
+    eagerly).
+    """
+    sup_loss = F.cross_entropy(model(batch["weak_x"]), batch["labels"])
+    strong_logits = model(batch["strong_x"])
+    cons_loss = F.cross_entropy(strong_logits, batch["pseudo"],
+                                sample_weights=batch["mask_w"].data)
+    return sup_loss + batch["cons_w"] * cons_loss
 
 
 class FixMatchModule(TrainingModule):
@@ -79,7 +139,8 @@ class FixMatchModule(TrainingModule):
             aux_config = TrainConfig(epochs=config.aux_epochs,
                                      batch_size=config.aux_batch_size,
                                      lr=config.aux_lr, momentum=config.momentum,
-                                     augment=weak_augment(), seed=data.seed)
+                                     augment=weak_augment(), seed=data.seed,
+                                     replay=config.replay)
             train_classifier(model, auxiliary.features, auxiliary.labels, aux_config)
             model.replace_head(data.num_classes, rng=rng)
         else:
@@ -93,7 +154,8 @@ class FixMatchModule(TrainingModule):
             warmup = TrainConfig(epochs=config.head_warmup_epochs,
                                  batch_size=config.batch_size,
                                  lr=config.head_warmup_lr, momentum=config.momentum,
-                                 augment=weak_augment(), seed=data.seed)
+                                 augment=weak_augment(), seed=data.seed,
+                                 replay=config.replay)
             train_classifier(model, data.labeled_features, data.labeled_labels, warmup)
 
         # ------------------------------------------------------------------ #
@@ -123,37 +185,38 @@ class FixMatchModule(TrainingModule):
         scheduler = FixMatchCosineLR(optimizer,
                                      total_steps=config.epochs * steps_per_epoch)
 
+        # The two-view consistency step runs through the graph replay
+        # executor: the pseudo-label view replays a compiled inference
+        # forward, and the supervised + consistency update replays
+        # ``_two_view_step`` as one compiled DAG (two forwards through the
+        # shared model, two losses, weighted sum).  The confidence mask is a
+        # per-sample *weight* on the full strong batch rather than a row
+        # selection, so batch shapes — and therefore the compiled plan —
+        # stay static across steps; rejected pseudo labels get weight zero,
+        # which zeroes their gradient exactly.
+        dtype = get_default_dtype()
+        cons_weight = np.asarray(config.unlabeled_loss_weight, dtype=dtype)
+        stepper = GraphReplay(model, optimizer, enabled=config.replay)
+
         model.train()
         for _ in range(config.epochs):
             labeled_stream = iterate_forever(labeled_loader)
             for _ in range(steps_per_epoch):
                 labeled_x, labeled_y = next(labeled_stream)
                 scheduler.step()
+                weak_labeled = weak(labeled_x, rng)
 
-                logits = model(Tensor(weak(labeled_x, rng)))
-                loss = F.cross_entropy(logits, labeled_y)
+                if unlabeled_stream is None:
+                    stepper.step(weak_labeled, labeled_y)
+                    continue
 
-                if unlabeled_stream is not None:
-                    unlabeled_x = next(unlabeled_stream)
-                    # Pseudo labels come from the weakly augmented view with no
-                    # gradient flow, as in the original algorithm.
-                    model.eval()
-                    with inference_mode():
-                        weak_logits = model(Tensor(weak(unlabeled_x, rng))).data
-                    model.train()
-                    weak_probs = _softmax(weak_logits)
-                    confidence = weak_probs.max(axis=1)
-                    pseudo_labels = weak_probs.argmax(axis=1)
-                    mask = confidence >= config.confidence_threshold
-                    if mask.any():
-                        strong_logits = model(Tensor(strong(unlabeled_x[mask], rng)))
-                        unlabeled_loss = F.cross_entropy(strong_logits,
-                                                         pseudo_labels[mask])
-                        loss = loss + config.unlabeled_loss_weight * unlabeled_loss
-
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+                unlabeled_x = next(unlabeled_stream)
+                # Pseudo labels come from the weakly augmented view with no
+                # gradient flow, as in the original algorithm.
+                consistency_step(stepper, model, weak_labeled, labeled_y,
+                                 weak(unlabeled_x, rng),
+                                 strong(unlabeled_x, rng), cons_weight,
+                                 config.confidence_threshold, dtype)
         model.eval()
         return ModelTaglet(self.name, model)
 

@@ -13,7 +13,8 @@ from .data import (ArrayDataset, ConcatDataset, DataLoader, Dataset,
 from .modules import (MLP, BatchNorm1d, Dropout, Identity, Linear, Module,
                       Parameter, ReLU, Sequential, Tanh)
 from .optim import SGD, Adam, Optimizer
-from .replay import GraphReplay, ReplayStats, ReplayUnsupported, compile_step
+from .replay import (GraphReplay, ReplayStats, ReplayUnsupported,
+                     collect_replay_stats, compile_step)
 from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, StepLR, WarmupMultiStepLR)
 from .serialization import (StateDictMismatchError, load_into_module,
@@ -38,6 +39,7 @@ __all__ = [
     "set_default_dtype", "use_fused_ops", "seed_compat_mode",
     "use_graph_replay", "graph_replay_enabled",
     "GraphReplay", "ReplayStats", "ReplayUnsupported", "compile_step",
+    "collect_replay_stats",
     "Module", "Parameter", "Linear", "ReLU", "Tanh", "Identity", "Dropout",
     "BatchNorm1d", "Sequential", "MLP",
     "Optimizer", "SGD", "Adam",

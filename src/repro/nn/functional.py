@@ -12,7 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from .tensor import Tensor, fused_ops_enabled, get_default_dtype
+from .tensor import Tensor, _trace_records, fused_ops_enabled, get_default_dtype
 
 __all__ = [
     "one_hot",
@@ -131,6 +131,7 @@ def softmax_cross_entropy(logits: Tensor, targets: Union[np.ndarray, list],
     ``(softmax(z) - onehot(y)) / n`` instead of a chain of primitive closures
     each allocating intermediates.
     """
+    orig_targets, orig_weights = targets, sample_weights
     targets = np.asarray(targets, dtype=np.int64)
     z = logits.data
     n = z.shape[0]
@@ -155,7 +156,12 @@ def softmax_cross_entropy(logits: Tensor, targets: Union[np.ndarray, list],
         d *= float(grad) / denom
         logits._accumulate_owned(d)
 
-    return Tensor._make(np.asarray(loss, dtype=z.dtype), (logits,), backward)
+    out = Tensor._make(np.asarray(loss, dtype=z.dtype), (logits,), backward)
+    records = _trace_records()
+    if records is not None:
+        records.append(("loss", "cross_entropy", logits,
+                        orig_targets, orig_weights, out))
+    return out
 
 
 def cross_entropy(logits: Tensor, targets: Union[np.ndarray, list],
@@ -198,6 +204,7 @@ def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray,
         return -(log_probs * Tensor(target_probs)).sum() * (1.0 / denom)
 
     z = logits.data
+    orig_targets, orig_weights = target_probs, sample_weights
     targets = np.asarray(target_probs, dtype=z.dtype)
     shifted, exp, sumexp = _softmax_parts(z)
     log_probs = shifted - np.log(sumexp)
@@ -217,7 +224,12 @@ def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray,
         d *= float(grad) / denom
         logits._accumulate_owned(d)
 
-    return Tensor._make(np.asarray(loss, dtype=z.dtype), (logits,), backward)
+    out = Tensor._make(np.asarray(loss, dtype=z.dtype), (logits,), backward)
+    records = _trace_records()
+    if records is not None:
+        records.append(("loss", "soft_cross_entropy", logits,
+                        orig_targets, orig_weights, out))
+    return out
 
 
 def _fused_squared_error(predictions: Tensor, target_data: np.ndarray,
@@ -235,8 +247,12 @@ def _fused_squared_error(predictions: Tensor, target_data: np.ndarray,
         d = diff * (2.0 * float(grad) / denom)
         predictions._accumulate_owned(d)
 
-    return Tensor._make(np.asarray(loss, dtype=predictions.data.dtype),
-                        (predictions,), backward)
+    out = Tensor._make(np.asarray(loss, dtype=predictions.data.dtype),
+                       (predictions,), backward)
+    records = _trace_records()
+    if records is not None:
+        records.append(("loss", "sqerr", predictions, target_data, denom, out))
+    return out
 
 
 def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:

@@ -10,39 +10,26 @@ the familiar torch.nn API so the higher-level TAGLETS code reads naturally.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
-from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import init as init_module
 from .functional import linear as _fused_linear
-from .tensor import Tensor, get_default_dtype
+from .tensor import _TRACE, Tensor, get_default_dtype, trace_ops
 
 # --------------------------------------------------------------------------- #
 # Module-call tracing (the capture phase of the graph replay executor)
 # --------------------------------------------------------------------------- #
 # While a trace is active on the current thread, every ``Module.__call__``
-# appends ``(module, input, output)`` to the recording list.  The replay
-# compiler (:mod:`repro.nn.replay`) runs one eager training step under this
-# context and reconstructs the op chain from the records.  Thread-local so
-# the parallel controller can trace one module's training loop while another
-# thread trains eagerly.
-_TRACE = threading.local()
-
-
-@contextmanager
-def trace_module_calls(records: List[Tuple["Module", Tensor, Tensor]]):
-    """Record every module call on this thread into ``records``."""
-    if getattr(_TRACE, "records", None) is not None:
-        raise RuntimeError("module-call tracing is not reentrant")
-    _TRACE.records = records
-    try:
-        yield records
-    finally:
-        _TRACE.records = None
+# appends ``("module", module, input, output)`` to the recording list that
+# the engine-wide op trace (:func:`repro.nn.tensor.trace_ops`) maintains;
+# the traced tensor combinators and fused losses append their own tagged
+# records to the same list.  The replay compiler (:mod:`repro.nn.replay`)
+# runs one eager training step under this context and reconstructs the op
+# DAG from the records.
+trace_module_calls = trace_ops
 
 __all__ = [
     "Parameter",
@@ -87,7 +74,7 @@ class Module:
         out = self.forward(x)
         records = getattr(_TRACE, "records", None)
         if records is not None:
-            records.append((self, x, out))
+            records.append(("module", self, x, out))
         return out
 
     # ------------------------------------------------------------------ #

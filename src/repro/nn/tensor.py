@@ -42,6 +42,38 @@ _ENGINE_FLAGS = {"fused_ops": True, "inference_no_grad": True,
 
 _GRAD_MODE = threading.local()
 
+# ---------------------------------------------------------------------------- #
+# Op tracing (the capture phase of the graph replay executor)
+# ---------------------------------------------------------------------------- #
+# While a trace is active on the current thread, instrumented operations
+# append tagged records to the recording list: every ``Module.__call__``
+# appends ``("module", module, input, output)`` (see repro.nn.modules), the
+# traced tensor combinators append ``("add"/"mul", a, b, out)``, and the
+# fused losses append ``("loss", kind, logits, targets, extra, out)``.  The
+# replay compiler (:mod:`repro.nn.replay`) runs one eager training step under
+# this context and reconstructs the op DAG from the records.  Thread-local so
+# the parallel controller can trace one module's training loop while another
+# thread trains eagerly.
+_TRACE = threading.local()
+
+
+def _trace_records():
+    """The active trace recording list on this thread, or None."""
+    return getattr(_TRACE, "records", None)
+
+
+@contextmanager
+def trace_ops(records: List[tuple]):
+    """Record every traced op on this thread into ``records``."""
+    if getattr(_TRACE, "records", None) is not None:
+        raise RuntimeError("op tracing is not reentrant")
+    _TRACE.records = records
+    try:
+        yield records
+    finally:
+        _TRACE.records = None
+
+
 # Monotonically increasing creation stamp.  Every tensor records the counter
 # value at construction; since an operation's output is always created after
 # its inputs, creation order is a valid topological order of any autograd
@@ -305,7 +337,12 @@ class Tensor:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        # Inlined trace check (hot path: every eager add pays it).
+        records = getattr(_TRACE, "records", None)
+        if records is not None:
+            records.append(("add", self, other, out))
+        return out
 
     __radd__ = __add__
 
@@ -332,7 +369,11 @@ class Tensor:
             self._accumulate(_unbroadcast(grad * other.data, self.shape))
             other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        records = getattr(_TRACE, "records", None)
+        if records is not None:
+            records.append(("mul", self, other, out))
+        return out
 
     __rmul__ = __mul__
 

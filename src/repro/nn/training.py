@@ -19,7 +19,7 @@ from . import functional as F
 from .data import ArrayDataset, DataLoader, SoftLabeledDataset
 from .modules import Module
 from .optim import SGD, Adam, Optimizer
-from .replay import GraphReplay
+from .replay import GraphReplay, ReplayStats
 from .schedulers import (ConstantLR, CosineAnnealingLR, FixMatchCosineLR,
                          LRScheduler, MultiStepLR, WarmupMultiStepLR)
 from .tensor import Tensor, get_default_dtype, inference_mode
@@ -68,6 +68,11 @@ class TrainConfig:
     #: bit-identical to the eager fused path; unsupported models fall back
     #: to eager automatically (see :mod:`repro.nn.replay`).
     replay: Optional[bool] = None
+    #: optional shared counter collecting the executor's per-step outcomes
+    #: (captures / replays / eager fallbacks with reasons) for this run —
+    #: pass a :class:`~repro.nn.replay.ReplayStats` to turn silent eager
+    #: fallbacks into an observable (and testable) signal
+    replay_stats: Optional[ReplayStats] = None
 
     def with_updates(self, **overrides) -> "TrainConfig":
         """Return a copy with selected fields replaced."""
@@ -187,15 +192,14 @@ def train_classifier(model: Module, features: np.ndarray, labels: np.ndarray,
                                 steps_per_epoch=len(loader))
 
     stepper = GraphReplay(model, optimizer, loss="cross_entropy",
-                          enabled=config.replay)
+                          enabled=config.replay, stats=config.replay_stats)
     model.train()
     for epoch in range(config.epochs):
-        losses: List[float] = []
-        for batch_x, batch_y in loader:
-            if config.augment is not None:
-                batch_x = config.augment(batch_x, rng)
-            scheduler.step()
-            losses.append(stepper.step(batch_x, batch_y))
+        # The fused-epoch API checks the structural fingerprint once per
+        # batch signature per epoch instead of once per step; nothing inside
+        # the loop can mutate the model, so the amortization is sound.
+        losses = stepper.run_epoch(loader, scheduler=scheduler,
+                                   augment=config.augment, rng=rng)
         if callback is not None:
             callback(epoch, float(np.mean(losses)) if losses else float("nan"))
     model.eval()
@@ -218,15 +222,11 @@ def train_soft_classifier(model: Module, features: np.ndarray,
                                 steps_per_epoch=len(loader))
 
     stepper = GraphReplay(model, optimizer, loss="soft_cross_entropy",
-                          enabled=config.replay)
+                          enabled=config.replay, stats=config.replay_stats)
     model.train()
     for epoch in range(config.epochs):
-        losses: List[float] = []
-        for batch_x, batch_p in loader:
-            if config.augment is not None:
-                batch_x = config.augment(batch_x, rng)
-            scheduler.step()
-            losses.append(stepper.step(batch_x, batch_p))
+        losses = stepper.run_epoch(loader, scheduler=scheduler,
+                                   augment=config.augment, rng=rng)
         if callback is not None:
             callback(epoch, float(np.mean(losses)) if losses else float("nan"))
     model.eval()

@@ -376,6 +376,135 @@ def case_l2_loss(rng):
             lambda x: float(((x - t) ** 2).sum(axis=-1).mean()))
 
 
+def _bn_forward_frozen(x, gamma, beta, mean, var, eps=1e-5):
+    """The engine's BatchNorm1d forward with *fixed* statistics."""
+    scale = 1.0 / np.sqrt(var + eps)
+    return ((x - mean) * scale) * gamma + beta
+
+
+def case_batchnorm_train(rng):
+    """BatchNorm1d in training mode.
+
+    The eager engine computes the batch statistics on raw arrays (no graph),
+    so its backward treats mean/var as *constants* — the classic
+    frozen-statistics BN gradient.  The reference therefore freezes the
+    statistics at the base point; this is the semantic the replay kernels
+    reproduce bit for bit.
+    """
+    from repro.nn.modules import BatchNorm1d
+
+    n, d = int(rng.integers(2, 6)), int(rng.integers(1, 5))
+    x = rng.normal(size=(n, d))
+    gamma = rng.uniform(0.5, 1.5, size=d)
+    beta = rng.normal(size=d)
+    weights = rng.normal(size=(n, d))
+    mean0, var0 = x.mean(axis=0), x.var(axis=0)
+
+    def tensor_fn(xt, gt, bt):
+        bn = BatchNorm1d(d)
+        bn.gamma, bn.beta = gt, bt
+        return (bn(xt) * Tensor(weights.astype(xt.dtype))).sum()
+
+    def ref(x_, g_, b_):
+        return float((_bn_forward_frozen(x_, g_, b_, mean0, var0)
+                      * weights).sum())
+
+    return ([x, gamma, beta], tensor_fn, ref)
+
+
+def case_batchnorm_eval(rng):
+    """BatchNorm1d in eval mode (normalization with the running stats)."""
+    from repro.nn.modules import BatchNorm1d
+
+    n, d = int(rng.integers(2, 6)), int(rng.integers(1, 5))
+    x = rng.normal(size=(n, d))
+    gamma = rng.uniform(0.5, 1.5, size=d)
+    beta = rng.normal(size=d)
+    weights = rng.normal(size=(n, d))
+    running_mean = rng.normal(size=d)
+    running_var = rng.uniform(0.5, 2.0, size=d)
+
+    def tensor_fn(xt, gt, bt):
+        bn = BatchNorm1d(d)
+        bn.gamma, bn.beta = gt, bt
+        bn.running_mean = running_mean.copy()
+        bn.running_var = running_var.copy()
+        bn.eval()
+        return (bn(xt) * Tensor(weights.astype(xt.dtype))).sum()
+
+    def ref(x_, g_, b_):
+        return float((_bn_forward_frozen(x_, g_, b_, running_mean,
+                                         running_var) * weights).sum())
+
+    return ([x, gamma, beta], tensor_fn, ref)
+
+
+def case_fanout_shared_hidden(rng):
+    """Fan-out: one hidden activation consumed by two heads, losses summed.
+
+    The gradient w.r.t. the shared activation accumulates from both
+    branches — the graph fragment the DAG replay planner compiles for
+    shared-encoder models.
+    """
+    n, din, dh, c = (int(rng.integers(2, 5)) for _ in range(4))
+    x = rng.normal(size=(n, din))
+    w1 = rng.normal(size=(din, dh))
+    w2 = rng.normal(size=(dh, c))
+    w3 = rng.normal(size=(dh, c))
+    ca = rng.normal(size=(n, c))
+    cb = rng.normal(size=(n, c))
+
+    def tensor_fn(xt, w1t, w2t, w3t):
+        h = (xt @ w1t).tanh()
+        return ((h @ w2t) * Tensor(ca.astype(xt.dtype))).sum() \
+            + ((h @ w3t) * Tensor(cb.astype(xt.dtype))).sum()
+
+    def ref(x_, w1_, w2_, w3_):
+        h = np.tanh(x_ @ w1_)
+        return float(((h @ w2_) * ca).sum() + ((h @ w3_) * cb).sum())
+
+    return ([x, w1, w2, w3], tensor_fn, ref)
+
+
+def case_fanin_two_losses(rng):
+    """Fan-in: a weighted sum of two different losses over a shared input
+    (the FixMatch-shaped supervised + consistency combination)."""
+    n, din, c = int(rng.integers(2, 6)), int(rng.integers(2, 5)), \
+        int(rng.integers(2, 5))
+    x = rng.normal(size=(n, din))
+    w1 = rng.normal(size=(din, c))
+    w2 = rng.normal(size=(din, c))
+    targets = rng.integers(0, c, size=n)
+    reg_targets = rng.normal(size=(n, c))
+
+    def tensor_fn(xt, w1t, w2t):
+        ce = F.cross_entropy(xt @ w1t, targets)
+        reg = F.l2_loss(xt @ w2t, reg_targets.astype(xt.dtype))
+        return ce + reg * 0.5
+
+    def ref(x_, w1_, w2_):
+        picked = _np_log_softmax(x_ @ w1_)[np.arange(n), targets]
+        reg = ((x_ @ w2_ - reg_targets) ** 2).sum(axis=-1).mean()
+        return float(-picked.mean() + 0.5 * reg)
+
+    return ([x, w1, w2], tensor_fn, ref)
+
+
+def case_reused_tensor(rng):
+    """The same tensor appearing twice in one expression (x*x + x)."""
+    shape = rand_shape(rng)
+    x = rng.normal(size=shape)
+    weights = rng.normal(size=shape)
+
+    def tensor_fn(xt):
+        return ((xt * xt + xt) * Tensor(weights.astype(xt.dtype))).sum()
+
+    def ref(x_):
+        return float(((x_ * x_ + x_) * weights).sum())
+
+    return ([x], tensor_fn, ref)
+
+
 ALL_CASES = [
     case_add, case_sub, case_mul, case_div, case_pow, case_matmul,
     case_neg, case_exp, case_log, case_sqrt, case_tanh, case_sigmoid,
@@ -386,6 +515,8 @@ ALL_CASES = [
     case_log_softmax, case_softmax, case_linear,
     case_cross_entropy, case_cross_entropy_weighted,
     case_soft_cross_entropy, case_nll_loss, case_mse_loss, case_l2_loss,
+    case_batchnorm_train, case_batchnorm_eval,
+    case_fanout_shared_hidden, case_fanin_two_losses, case_reused_tensor,
 ]
 
 #: ops with both fused kernels and primitive-composed reference paths
@@ -395,7 +526,7 @@ FUSED_CASES = [case_linear, case_cross_entropy, case_cross_entropy_weighted,
 #: representative subset re-checked in float32
 F32_CASES = [case_matmul, case_linear, case_cross_entropy,
              case_soft_cross_entropy, case_l2_loss, case_relu, case_tanh,
-             case_sigmoid]
+             case_sigmoid, case_batchnorm_train, case_fanin_two_losses]
 
 
 @pytest.mark.parametrize("seed", SEEDS)

@@ -1,0 +1,561 @@
+"""Replay-vs-eager differential suite for DAG-shaped traces.
+
+The DAG generalization of the replay executor (BatchNorm kernels, weight
+sharing across views, fan-out/fan-in, summed and weighted-sum losses, the
+``step_fn`` / ``forward`` APIs) promises the same contract as the linear
+chains of ``test_replay.py``: replayed training is **bit-identical** to the
+fused eager path.  Every graph shape here trains twice — replay forced on
+vs forced off — and requires exactly equal parameters (and, for BatchNorm,
+exactly equal running statistics) after N steps, in float64 and float32,
+across the pipeline's optimizers.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, Adam, GraphReplay, SGD, Tensor, TrainConfig,
+                      default_dtype, train_classifier)
+from repro.nn import functional as F
+from repro.nn.modules import BatchNorm1d, Dropout, Linear, Module, ReLU
+
+DTYPES = [
+    pytest.param(np.float64, id="float64"),
+    pytest.param(np.float32, id="float32"),
+]
+
+OPTIMIZERS = {
+    "sgd_nesterov": lambda params: SGD(params, lr=0.05, momentum=0.9,
+                                       nesterov=True, weight_decay=1e-4),
+    "sgd_plain": lambda params: SGD(params, lr=0.05),
+    "adam": lambda params: Adam(params, lr=3e-3, weight_decay=1e-4),
+}
+
+
+def _dtype_scope(dtype):
+    return (default_dtype(dtype) if dtype is not np.float64
+            else contextlib.nullcontext())
+
+
+def _params(model):
+    return [p.data.copy() for p in model.parameters()]
+
+
+def _assert_bit_identical(got, expected):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g.dtype == e.dtype
+        np.testing.assert_array_equal(g, e)
+
+
+def _bn_stats(model):
+    return [(m.running_mean.copy(), m.running_var.copy())
+            for m in model.modules() if isinstance(m, BatchNorm1d)]
+
+
+# --------------------------------------------------------------------------- #
+# BatchNorm1d backbones
+# --------------------------------------------------------------------------- #
+
+
+class TestBatchNormChain:
+    """BN backbones replay: batch stats, running-stat updates, and the
+    frozen-statistics backward must all match eager exactly."""
+
+    def _train(self, dtype, replay):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(150, 24))
+        labels = rng.integers(0, 7, size=150)
+        config = TrainConfig(epochs=4, batch_size=32, lr=0.05, momentum=0.9,
+                             nesterov=True, weight_decay=1e-4,
+                             scheduler="multistep", milestones=(2,),
+                             seed=0, replay=replay)
+        with _dtype_scope(dtype):
+            model = MLP(24, [48, 32], 7, batch_norm=True,
+                        rng=np.random.default_rng(1))
+            train_classifier(model, features, labels, config)
+            return _params(model), _bn_stats(model)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_replay_bit_identical_to_eager(self, dtype):
+        replay_params, replay_stats = self._train(dtype, replay=True)
+        eager_params, eager_stats = self._train(dtype, replay=False)
+        _assert_bit_identical(replay_params, eager_params)
+        for (rm, rv), (em, ev) in zip(replay_stats, eager_stats):
+            np.testing.assert_array_equal(rm, em)
+            np.testing.assert_array_equal(rv, ev)
+
+    def test_replay_actually_replays_batchnorm(self):
+        from repro.nn import ReplayStats
+
+        stats = ReplayStats()
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(96, 12))
+        labels = rng.integers(0, 4, size=96)
+        config = TrainConfig(epochs=3, batch_size=32, seed=0, replay=True,
+                             replay_stats=stats)
+        model = MLP(12, [24], 4, batch_norm=True, dropout=0.2,
+                    rng=np.random.default_rng(3))
+        train_classifier(model, features, labels, config)
+        assert stats.eager_steps == 0
+        assert stats.fallbacks == {}
+        assert stats.captures == 1
+        assert stats.replays == 3 * 3 - 1
+
+    def test_batchnorm_eval_loss_matches_eager_inference(self):
+        from repro.nn.tensor import inference_mode
+
+        rng = np.random.default_rng(4)
+        model = MLP(10, [16], 3, batch_norm=True,
+                    rng=np.random.default_rng(5))
+        optimizer = SGD(model.parameters(), lr=0.1)
+        stepper = GraphReplay(model, optimizer, loss="cross_entropy")
+        x = rng.normal(size=(20, 10))
+        y = rng.integers(0, 3, size=20)
+        stepper.step(x, y)
+        model.eval()
+        compiled = [stepper.eval_loss(x, y) for _ in range(3)]
+        with inference_mode():
+            eager = F.cross_entropy(model(Tensor(x)), y).item()
+        assert compiled == [eager] * 3
+
+    def test_batchnorm_momentum_change_forces_recapture(self):
+        # The fingerprint must include BN momentum/eps so a config change
+        # recaptures instead of replaying stale kernels.
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(32, 8))
+        y = rng.integers(0, 4, size=32)
+
+        def run(replay):
+            model = MLP(8, [16], 4, batch_norm=True,
+                        rng=np.random.default_rng(7))
+            bn = [m for m in model.modules()
+                  if isinstance(m, BatchNorm1d)][0]
+            optimizer = SGD(model.parameters(), lr=0.1)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            for _ in range(3):
+                stepper.step(x, y)
+            bn.momentum = 0.5
+            for _ in range(3):
+                stepper.step(x, y)
+            return _params(model), _bn_stats(model), stepper.stats
+
+        replay_params, replay_bn, stats = run(True)
+        eager_params, eager_bn, _ = run(False)
+        assert stats.captures == 2  # momentum change = new signature
+        _assert_bit_identical(replay_params, eager_params)
+        for (rm, rv), (em, ev) in zip(replay_bn, eager_bn):
+            np.testing.assert_array_equal(rm, em)
+            np.testing.assert_array_equal(rv, ev)
+
+
+# --------------------------------------------------------------------------- #
+# Fan-out: a shared encoder feeding two heads
+# --------------------------------------------------------------------------- #
+
+
+class _ForkedModel(Module):
+    """h = encoder(x); logits = head_a(h) + head_b(h) — fan-out + fan-in."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.encoder = Linear(16, 24, rng=rng)
+        self.act = ReLU()
+        self.head_a = Linear(24, 5, rng=rng)
+        self.head_b = Linear(24, 5, rng=rng)
+
+    def forward(self, x):
+        h = self.act(self.encoder(x))
+        return self.head_a(h) + self.head_b(h)
+
+
+class TestSharedEncoderFanOut:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("opt", sorted(OPTIMIZERS), ids=str)
+    def test_replay_bit_identical_to_eager(self, dtype, opt):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(40, 16))
+        y = rng.integers(0, 5, size=40)
+
+        def run(replay):
+            with _dtype_scope(dtype):
+                model = _ForkedModel(np.random.default_rng(9))
+                optimizer = OPTIMIZERS[opt](model.parameters())
+                stepper = GraphReplay(model, optimizer, enabled=replay)
+                for _ in range(8):
+                    stepper.step(x, y)
+                return _params(model), stepper.stats
+
+        replay_params, stats = run(True)
+        eager_params, _ = run(False)
+        assert stats.captures == 1
+        assert stats.replays == 7
+        assert stats.eager_steps == 0
+        _assert_bit_identical(replay_params, eager_params)
+
+
+# --------------------------------------------------------------------------- #
+# The FixMatch two-view consistency step (weight sharing across views)
+# --------------------------------------------------------------------------- #
+
+
+def _two_view(model, batch):
+    sup = F.cross_entropy(model(batch["weak_x"]), batch["labels"])
+    cons = F.cross_entropy(model(batch["strong_x"]), batch["pseudo"],
+                           sample_weights=batch["mask_w"].data)
+    return sup + batch["cons_w"] * cons
+
+
+class TestTwoViewStepFn:
+    """The FixMatch-shaped graph: the same model applied to two views, a
+    weighted per-sample consistency loss, and a weighted sum of losses."""
+
+    def _run(self, dtype, opt, replay, steps=10):
+        with _dtype_scope(dtype):
+            dt = np.dtype(dtype)
+            rng = np.random.default_rng(10)
+            model = MLP(12, [24, 16], 4, dropout=0.2,
+                        rng=np.random.default_rng(11))
+            optimizer = OPTIMIZERS[opt](model.parameters())
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            cons_w = np.asarray(0.7, dtype=dt)
+            losses = []
+            model.train()
+            for _ in range(steps):
+                # Fresh views, pseudo labels, and mask every step — values
+                # change, shapes stay static, so one plan serves the loop.
+                batch = {
+                    "weak_x": rng.normal(size=(20, 12)).astype(dt),
+                    "labels": rng.integers(0, 4, size=20),
+                    "strong_x": rng.normal(size=(48, 12)).astype(dt),
+                    "pseudo": rng.integers(0, 4, size=48),
+                    "mask_w": (rng.random(48) < 0.6).astype(dt),
+                    "cons_w": cons_w,
+                }
+                losses.append(stepper.step_fn(_two_view, batch))
+            return _params(model), losses, stepper.stats
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("opt", sorted(OPTIMIZERS), ids=str)
+    def test_replay_bit_identical_to_eager(self, dtype, opt):
+        replay_params, replay_losses, stats = self._run(dtype, opt, True)
+        eager_params, eager_losses, _ = self._run(dtype, opt, False)
+        _assert_bit_identical(replay_params, eager_params)
+        assert replay_losses == eager_losses  # loss scalars bitwise equal
+        assert stats.captures == 1
+        assert stats.replays == 9
+        assert stats.eager_steps == 0
+
+    def test_all_masked_out_step_replays(self):
+        # A step where every pseudo label is rejected (all-zero weights)
+        # must still replay and contribute exactly zero consistency
+        # gradient.
+        def run(replay):
+            rng = np.random.default_rng(12)
+            model = MLP(8, [16], 3, rng=np.random.default_rng(13))
+            optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            for i in range(6):
+                batch = {
+                    "weak_x": rng.normal(size=(10, 8)),
+                    "labels": rng.integers(0, 3, size=10),
+                    "strong_x": rng.normal(size=(24, 8)),
+                    "pseudo": rng.integers(0, 3, size=24),
+                    "mask_w": (np.zeros(24) if i % 2 else np.ones(24)),
+                    "cons_w": np.asarray(1.0),
+                }
+                stepper.step_fn(_two_view, batch)
+            return _params(model), stepper.stats
+
+        replay_params, stats = run(True)
+        eager_params, _ = run(False)
+        assert stats.captures == 1
+        assert stats.replays == 5
+        _assert_bit_identical(replay_params, eager_params)
+
+    def test_changed_weight_scalar_is_picked_up_without_recapture(self):
+        # cons_w is a step *input*, so changing its value flows into the
+        # replayed kernels with no recapture.
+        rng = np.random.default_rng(14)
+        batch_base = {
+            "weak_x": rng.normal(size=(10, 8)),
+            "labels": rng.integers(0, 3, size=10),
+            "strong_x": rng.normal(size=(16, 8)),
+            "pseudo": rng.integers(0, 3, size=16),
+            "mask_w": np.ones(16),
+        }
+
+        def run(replay):
+            model = MLP(8, [16], 3, rng=np.random.default_rng(15))
+            optimizer = SGD(model.parameters(), lr=0.1)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            for w in (0.25, 0.5, 1.0, 2.0):
+                stepper.step_fn(_two_view,
+                                dict(batch_base, cons_w=np.asarray(w)))
+            return _params(model), stepper.stats
+
+        replay_params, stats = run(True)
+        eager_params, _ = run(False)
+        assert stats.captures == 1
+        assert stats.replays == 3
+        _assert_bit_identical(replay_params, eager_params)
+
+
+# --------------------------------------------------------------------------- #
+# Summed multi-loss graphs (fan-in over loss kinds)
+# --------------------------------------------------------------------------- #
+
+
+def _multi_loss(model, batch):
+    ce = F.cross_entropy(model(batch["x1"]), batch["y1"])
+    reg = F.l2_loss(model(batch["x2"]), batch["y2"].data)
+    return ce + batch["w"] * reg
+
+
+def _summed_loss(model, batch):
+    a = F.cross_entropy(model(batch["x1"]), batch["y1"])
+    b = F.soft_cross_entropy(model(batch["x2"]), batch["y2"].data)
+    return a + b
+
+
+class TestMultiLossGraphs:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("fn", [_multi_loss, _summed_loss],
+                             ids=["weighted_ce_plus_l2", "ce_plus_soft_ce"])
+    def test_replay_bit_identical_to_eager(self, dtype, fn):
+        def run(replay):
+            with _dtype_scope(dtype):
+                dt = np.dtype(dtype)
+                rng = np.random.default_rng(16)
+                model = MLP(10, [20], 6, rng=np.random.default_rng(17))
+                optimizer = Adam(model.parameters(), lr=1e-2)
+                stepper = GraphReplay(model, optimizer, enabled=replay)
+                losses = []
+                for _ in range(8):
+                    y2 = (rng.dirichlet(np.ones(6), size=24)
+                          if fn is _summed_loss
+                          else rng.normal(size=(24, 6)))
+                    batch = {
+                        "x1": rng.normal(size=(16, 10)).astype(dt),
+                        "y1": rng.integers(0, 6, size=16),
+                        "x2": rng.normal(size=(24, 10)).astype(dt),
+                        "y2": y2.astype(dt),
+                        "w": np.asarray(0.3, dtype=dt),
+                    }
+                    losses.append(stepper.step_fn(fn, batch))
+                return _params(model), losses, stepper.stats
+
+        replay_params, replay_losses, stats = run(True)
+        eager_params, eager_losses, _ = run(False)
+        assert stats.captures == 1
+        assert stats.replays == 7
+        assert stats.eager_steps == 0
+        assert replay_losses == eager_losses
+        _assert_bit_identical(replay_params, eager_params)
+
+
+def _shared_logits(model, batch):
+    # One forward's logits consumed by two losses: grad deposits into the
+    # same logits buffer must write-then-accumulate in eager order.
+    logits = model(batch["x"])
+    return F.cross_entropy(logits, batch["y"]) \
+        + F.soft_cross_entropy(logits, batch["p"].data)
+
+
+class TestSharedLogitsTwoLosses:
+    def test_replay_bit_identical_to_eager(self):
+        def run(replay):
+            rng = np.random.default_rng(22)
+            model = MLP(8, [16], 4, rng=np.random.default_rng(23))
+            optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            losses = []
+            for _ in range(6):
+                batch = {"x": rng.normal(size=(12, 8)),
+                         "y": rng.integers(0, 4, size=12),
+                         "p": rng.dirichlet(np.ones(4), size=12)}
+                losses.append(stepper.step_fn(_shared_logits, batch))
+            return _params(model), losses, stepper.stats
+
+        replay_params, replay_losses, stats = run(True)
+        eager_params, eager_losses, _ = run(False)
+        assert stats.captures == 1
+        assert stats.eager_steps == 0
+        assert replay_losses == eager_losses
+        _assert_bit_identical(replay_params, eager_params)
+
+
+def _bn_two_view(model, batch):
+    return F.cross_entropy(model(batch["x1"]), batch["y1"]) \
+        + F.cross_entropy(model(batch["x2"]), batch["y2"])
+
+
+class TestBatchNormSharedAcrossViews:
+    def test_replay_bit_identical_to_eager(self):
+        # A BatchNorm backbone applied to two views in one step: the
+        # running stats update twice per step (in view order) and the
+        # gamma/beta gradients accumulate across applications.
+        def run(replay):
+            rng = np.random.default_rng(24)
+            model = MLP(8, [16], 4, batch_norm=True,
+                        rng=np.random.default_rng(25))
+            optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            for _ in range(6):
+                batch = {"x1": rng.normal(size=(10, 8)),
+                         "y1": rng.integers(0, 4, size=10),
+                         "x2": rng.normal(size=(14, 8)),
+                         "y2": rng.integers(0, 4, size=14)}
+                stepper.step_fn(_bn_two_view, batch)
+            return _params(model), _bn_stats(model), stepper.stats
+
+        replay_params, replay_bn, stats = run(True)
+        eager_params, eager_bn, _ = run(False)
+        assert stats.captures == 1
+        assert stats.eager_steps == 0
+        _assert_bit_identical(replay_params, eager_params)
+        for (rm, rv), (em, ev) in zip(replay_bn, eager_bn):
+            np.testing.assert_array_equal(rm, em)
+            np.testing.assert_array_equal(rv, ev)
+
+
+class _Heads(Module):
+    """Two independent heads behind one optimizer (disjoint coverage)."""
+
+    def __init__(self):
+        super().__init__()
+        self.h1 = Linear(8, 4, rng=np.random.default_rng(26))
+        self.h2 = Linear(8, 4, rng=np.random.default_rng(27))
+
+    def forward(self, x):  # pragma: no cover - heads are called directly
+        return self.h1(x)
+
+
+def _h1_only(model, batch):
+    return F.cross_entropy(model.h1(batch["x"]), batch["y"])
+
+
+def _h2_only(model, batch):
+    return F.cross_entropy(model.h2(batch["x"]), batch["y"])
+
+
+class TestPartialParameterCoverage:
+    def test_alternating_step_fns_match_eager(self):
+        # Two step functions touching disjoint heads of one optimizer:
+        # a replayed plan must clear the gradients of the parameters it
+        # does not cover (eager's zero_grad does), or the other head's
+        # stale gradient would be re-applied.
+        def run(replay):
+            rng = np.random.default_rng(28)
+            model = _Heads()
+            optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            for i in range(8):
+                batch = {"x": rng.normal(size=(10, 8)),
+                         "y": rng.integers(0, 4, size=10)}
+                stepper.step_fn(_h1_only if i % 2 == 0 else _h2_only, batch)
+            return _params(model), stepper.stats
+
+        replay_params, stats = run(True)
+        eager_params, _ = run(False)
+        assert stats.captures == 2  # one plan per step function
+        assert stats.eager_steps == 0
+        _assert_bit_identical(replay_params, eager_params)
+
+
+class TestAliasedInputs:
+    def test_same_array_under_two_keys_falls_back_to_eager(self):
+        # Two input keys bound to the same array at capture time are
+        # ambiguous (a later replay may un-alias them), so the capture is
+        # rejected and the loop runs eagerly — never a silently mis-bound
+        # plan.
+        def fn(model, batch):
+            return F.cross_entropy(model(batch["xa"]), batch["ya"]) \
+                + F.cross_entropy(model(batch["xb"]), batch["yb"])
+
+        rng = np.random.default_rng(31)
+        x = rng.normal(size=(10, 6))
+        ya = rng.integers(0, 3, size=10)
+        yb = rng.integers(0, 3, size=10)
+
+        def run(replay):
+            model = MLP(6, [12], 3, rng=np.random.default_rng(32))
+            optimizer = SGD(model.parameters(), lr=0.1)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            # Step 1 aliases ya under both target keys; step 2 un-aliases.
+            stepper.step_fn(fn, {"xa": x, "ya": ya, "xb": x, "yb": ya})
+            stepper.step_fn(fn, {"xa": x, "ya": ya, "xb": x, "yb": yb})
+            return _params(model), stepper.stats
+
+        replay_params, stats = run(True)
+        eager_params, _ = run(False)
+        assert stats.replays == 0
+        assert stats.eager_steps == 2
+        assert any("aliases" in r or "multiple step inputs" in r
+                   for r in stats.fallbacks)
+        _assert_bit_identical(replay_params, eager_params)
+
+
+class TestIntegerFeatures:
+    def test_integer_inputs_cast_like_eager(self):
+        # Integer feature arrays go through the same Tensor(x) cast as the
+        # eager step — replay must not hand the raw int array to the model.
+        rng = np.random.default_rng(29)
+        x = rng.integers(-3, 4, size=(20, 6))
+        y = rng.integers(0, 3, size=20)
+
+        def run(replay):
+            model = MLP(6, [12], 3, rng=np.random.default_rng(30))
+            optimizer = SGD(model.parameters(), lr=0.1)
+            stepper = GraphReplay(model, optimizer, enabled=replay)
+            losses = [stepper.step(x, y) for _ in range(5)]
+            stepper.eval_loss(x, y)
+            stepper.forward(x)
+            return _params(model), losses, stepper.stats
+
+        replay_params, replay_losses, stats = run(True)
+        eager_params, eager_losses, _ = run(False)
+        assert replay_losses == eager_losses
+        assert stats.eager_steps == 0
+        _assert_bit_identical(replay_params, eager_params)
+
+
+# --------------------------------------------------------------------------- #
+# The compiled inference forward
+# --------------------------------------------------------------------------- #
+
+
+class TestCompiledForward:
+    def test_forward_matches_eager_inference(self):
+        from repro.nn.tensor import inference_mode
+
+        rng = np.random.default_rng(18)
+        model = MLP(8, [16], 4, rng=np.random.default_rng(19))
+        model.eval()
+        optimizer = SGD(model.parameters(), lr=0.1)
+        stepper = GraphReplay(model, optimizer)
+        x = rng.normal(size=(12, 8))
+        compiled = [stepper.forward(x).copy() for _ in range(3)]
+        with inference_mode():
+            eager = model(Tensor(x)).data
+        for got in compiled:
+            np.testing.assert_array_equal(got, eager)
+        assert stepper.stats.captures == 1
+        assert stepper.stats.replays == 2
+
+    def test_forward_detects_weight_updates(self):
+        rng = np.random.default_rng(20)
+        model = MLP(8, [16], 4, rng=np.random.default_rng(21))
+        model.eval()
+        optimizer = SGD(model.parameters(), lr=0.1)
+        stepper = GraphReplay(model, optimizer)
+        x = rng.normal(size=(12, 8))
+        before = stepper.forward(x).copy()
+        # In-place weight updates are picked up without recapture (kernels
+        # read parameters through the live module attributes).
+        for p in model.parameters():
+            p.data += 0.1
+        after = stepper.forward(x).copy()
+        assert stepper.stats.captures == 1  # no recapture needed
+        assert not np.array_equal(before, after)

@@ -124,7 +124,10 @@ class TestModelMutationMidLoop:
 
 
 class TestUnsupportedStructures:
-    def test_batchnorm_model_falls_back_to_eager(self):
+    def test_batchnorm_model_compiles_and_replays(self):
+        # PR 2's tracer marked BatchNorm1d unsupported; the DAG compiler
+        # replays it (the bit-identity is asserted by test_replay_dag.py —
+        # here we pin that the old silent fallback is gone).
         rng = np.random.default_rng(7)
         model = Sequential(Linear(8, 16, rng=rng), BatchNorm1d(16), ReLU(),
                            Linear(16, 4, rng=rng))
@@ -133,13 +136,14 @@ class TestUnsupportedStructures:
         x, y = _batches(8)
         for _ in range(4):
             stepper.step(x, y)
-        assert stepper.stats.replays == 0
-        assert stepper.stats.captures == 0
-        assert stepper.stats.eager_steps == 4
+        assert stepper.stats.captures == 1
+        assert stepper.stats.replays == 3
+        assert stepper.stats.eager_steps == 0
 
-    def test_shared_layer_falls_back_to_eager(self):
-        # A layer applied twice must accumulate its gradient; the replay
-        # plan cannot, so the trace is rejected and training stays correct.
+    def test_shared_layer_replays_with_grad_accumulation(self):
+        # A layer applied twice accumulates its parameter gradient; the DAG
+        # plan writes the first contribution and adds the second in eager
+        # backward order, so results stay exactly eager.
         class Siamese(Module):
             def __init__(self):
                 super().__init__()
@@ -162,8 +166,9 @@ class TestUnsupportedStructures:
 
         replay_params, stats = run(True)
         eager_params, _ = run(False)
-        assert stats.replays == 0
-        assert stats.eager_steps == 4
+        assert stats.captures == 1
+        assert stats.replays == 3
+        assert stats.eager_steps == 0
         for a, b in zip(replay_params, eager_params):
             np.testing.assert_array_equal(a, b)
 
@@ -185,7 +190,7 @@ class TestUnsupportedStructures:
         assert stepper.stats.replays == 0
         assert stepper.stats.eager_steps == 3
 
-    def test_unsupported_model_still_trains_correctly(self):
+    def test_batchnorm_model_trains_identically_to_eager(self):
         def build():
             model = Sequential(Linear(8, 16, rng=np.random.default_rng(11)),
                                BatchNorm1d(16), ReLU(),

@@ -1,0 +1,154 @@
+"""Zero-fallback regression tests for the pipeline's training loops.
+
+Before the DAG tracer, unsupported graph shapes (BatchNorm backbones,
+FixMatch's two-view step) fell back to eager *silently* — the loop trained
+correctly but forfeited the replay speedup, and nothing failed.  These tests
+turn that into a caught regression: every static training loop in the
+pipeline runs with a :class:`~repro.nn.ReplayStats` counter attached and
+must report **zero eager fallbacks** — one capture per signature, replays
+for everything else.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, Adam, GraphReplay, ReplayStats, TrainConfig,
+                      collect_replay_stats, train_classifier,
+                      train_soft_classifier)
+from repro.nn.modules import Linear, Module, ReLU
+
+
+def _assert_no_fallbacks(stats: ReplayStats):
+    assert stats.fallbacks == {}, stats.fallbacks
+    assert stats.fallback_count == 0
+    assert stats.eager_steps == 0
+    assert stats.captures > 0
+    assert stats.replays > 0
+
+
+class TestTrainingLoops:
+    def test_train_classifier_batch_norm_dropout_zero_fallbacks(self):
+        stats = ReplayStats()
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(150, 16))
+        labels = rng.integers(0, 5, size=150)
+        config = TrainConfig(epochs=4, batch_size=32, lr=0.05, momentum=0.9,
+                             seed=0, replay=True, replay_stats=stats)
+        model = MLP(16, [32, 24], 5, batch_norm=True, dropout=0.2,
+                    rng=np.random.default_rng(1))
+        train_classifier(model, features, labels, config)
+        _assert_no_fallbacks(stats)
+
+    def test_train_soft_classifier_zero_fallbacks(self):
+        stats = ReplayStats()
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(120, 12))
+        probs = rng.dirichlet(np.ones(4), size=120)
+        config = TrainConfig(epochs=4, batch_size=32, lr=3e-3,
+                             optimizer="adam", seed=0, replay=True,
+                             replay_stats=stats)
+        model = MLP(12, [24], 4, rng=np.random.default_rng(3))
+        train_soft_classifier(model, features, probs, config)
+        _assert_no_fallbacks(stats)
+
+    def test_zsl_kg_pretrain_loop_zero_fallbacks(self):
+        # The ZSL-KG pretrain shape: full-batch L2 + Adam with a per-epoch
+        # compiled validation pass, stepped exactly as zsl_kg._pretrain does.
+        class _ClassEncoder(Module):
+            def __init__(self, rng):
+                super().__init__()
+                self.fc1 = Linear(24, 32, rng=rng)
+                self.activation = ReLU()
+                self.fc2 = Linear(32, 16, rng=rng)
+
+            def forward(self, x):
+                return self.fc2(self.activation(self.fc1(x)))
+
+        stats = ReplayStats()
+        rng = np.random.default_rng(4)
+        train_x = rng.normal(size=(30, 24))
+        train_y = rng.normal(size=(30, 16))
+        val_x = rng.normal(size=(5, 24))
+        val_y = rng.normal(size=(5, 16))
+        encoder = _ClassEncoder(np.random.default_rng(5))
+        optimizer = Adam(encoder.parameters(), lr=1e-2)
+        stepper = GraphReplay(encoder, optimizer, loss="l2", enabled=True,
+                              stats=stats)
+        for _ in range(20):
+            encoder.train()
+            stepper.step(train_x, train_y, compute_loss=False)
+            encoder.eval()
+            stepper.eval_loss(val_x, val_y)
+        _assert_no_fallbacks(stats)
+        assert stats.captures == 2  # one train plan + one eval plan
+
+
+class TestSharedCounter:
+    def test_counter_registered_twice_ticks_once_per_step(self):
+        # The same ReplayStats arriving both ambiently (collect_replay_stats)
+        # and explicitly (TrainConfig.replay_stats) must count each step
+        # exactly once.
+        stats = ReplayStats()
+        rng = np.random.default_rng(7)
+        features = rng.normal(size=(64, 8))
+        labels = rng.integers(0, 4, size=64)
+        config = TrainConfig(epochs=3, batch_size=32, seed=0, replay=True,
+                             replay_stats=stats)
+        model = MLP(8, [16], 4, rng=np.random.default_rng(8))
+        with collect_replay_stats(stats):
+            train_classifier(model, features, labels, config)
+        assert stats.total == 3 * 2  # 6 steps: 1 capture + 5 replays
+        assert stats.captures == 1
+        assert stats.replays == 5
+
+
+class TestFixMatchTwoView:
+    def test_fixmatch_module_zero_fallbacks(self):
+        # The full module — auxiliary fine-tuning, head warm-up, and the
+        # two-view consistency loop (pseudo-label forward + compiled
+        # two-view step) — must never silently fall back to eager.
+        from repro.backbones.backbone import (BackboneSpec, Encoder,
+                                              PretrainedBackbone)
+        from repro.datasets.base import ClassSpec
+        from repro.modules.base import ModuleInput
+        from repro.modules.fixmatch import FixMatchConfig, FixMatchModule
+        from repro.scads.query import AuxiliarySelection
+
+        rng = np.random.default_rng(6)
+        spec = BackboneSpec("t", input_dim=12, hidden_dims=(16,),
+                            feature_dim=8)
+        backbone = PretrainedBackbone(
+            spec, Encoder(spec, rng=rng).state_dict())
+        classes = [ClassSpec(name=f"c{i}", concept=f"c{i}") for i in range(4)]
+        aux = AuxiliarySelection(features=rng.normal(size=(40, 12)),
+                                 labels=rng.integers(0, 3, size=40),
+                                 concepts=["a", "b", "c"])
+        data = ModuleInput(classes=classes,
+                           labeled_features=rng.normal(size=(20, 12)),
+                           labeled_labels=rng.integers(0, 4, size=20),
+                           unlabeled_features=rng.normal(size=(64, 12)),
+                           auxiliary=aux, backbone=backbone, seed=0)
+        stats = ReplayStats()
+        config = FixMatchConfig(aux_epochs=2, head_warmup_epochs=2, epochs=3,
+                                confidence_threshold=0.5, replay=True)
+        with collect_replay_stats(stats):
+            FixMatchModule(config).train(data)
+        _assert_no_fallbacks(stats)
+
+
+class TestControllerRun:
+    def test_full_pipeline_zero_fallbacks(self, tiny_workspace, tiny_backbone):
+        # Every training loop in a full TAGLETS run — all four paper-default
+        # modules plus the end-model distillation — reports into one shared
+        # counter via ControllerConfig.replay_stats, and none may fall back.
+        from repro.core import Controller, ControllerConfig, Task
+
+        split = tiny_workspace.make_task_split("fmd", shots=5, split_seed=0)
+        task = Task.from_split(split, scads=tiny_workspace.scads,
+                               backbone=tiny_backbone,
+                               wanted_num_related_class=3,
+                               images_per_related_class=8)
+        stats = ReplayStats()
+        config = ControllerConfig(replay=True, replay_stats=stats, seed=0)
+        Controller(config=config).run(task)
+        _assert_no_fallbacks(stats)
