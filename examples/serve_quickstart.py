@@ -3,12 +3,13 @@
 The full deployment lifecycle of the reproduction:
 
 1. build a (reduced) workspace and train the TAGLETS pipeline,
-2. export the distilled end model as a versioned servable artifact
-   (via the ``Controller`` export hook),
-3. register it in a :class:`~repro.serve.Server` behind the dynamic
-   micro-batching engine and start the JSON/HTTP endpoint,
-4. fire concurrent requests at it and verify the served predictions agree
-   with offline inference.
+2. export the distilled end model *and* the taglet ensemble as versioned
+   servable artifacts (via the ``Controller`` export hooks),
+3. register both in a :class:`~repro.serve.Server` behind the dynamic
+   micro-batching engine (two workers) and start the JSON/HTTP endpoint,
+4. fire concurrent requests at both models — the ensemble ones carrying a
+   priority and a deadline — and verify the served predictions agree with
+   offline inference (end model) and offline taglet voting (ensemble).
 
 Run with::
 
@@ -30,6 +31,7 @@ from repro.distill import EndModelConfig
 from repro.kg import GraphSpec
 from repro.modules import MultiTaskConfig, MultiTaskModule, TransferConfig, TransferModule
 from repro.serve import BatchingConfig, Server, load_servable, start_http_server
+from repro.serve.batching import run_at_quantum
 from repro.synth import WorldSpec
 from repro.workspace import Workspace, WorkspaceSpec
 
@@ -49,10 +51,12 @@ def main() -> None:
                            wanted_num_related_class=3,
                            images_per_related_class=8)
 
-    # ---- 2. export (the Controller hook writes the artifact) -------------
+    # ---- 2. export (the Controller hooks write both artifacts) -----------
     artifact_dir = tempfile.mkdtemp(prefix="taglets-artifact-")
+    ensemble_dir = artifact_dir + "-ensemble"
     config = ControllerConfig(end_model=EndModelConfig(epochs=20),
                               dtype="float32", export_path=artifact_dir,
+                              export_ensemble_path=ensemble_dir,
                               seed=0)
     modules = [MultiTaskModule(MultiTaskConfig(epochs=10)),
                TransferModule(TransferConfig(aux_epochs=10, target_epochs=25))]
@@ -60,28 +64,42 @@ def main() -> None:
     accuracy = result.end_model_accuracy(split.test_features, split.test_labels)
     print(f"Trained and exported the end model "
           f"(test accuracy {accuracy * 100:.1f}%) to {artifact_dir}")
+    print(f"Exported the {len(result.taglets)}-member taglet ensemble "
+          f"to {ensemble_dir}")
 
     # ---- 3. serve --------------------------------------------------------
     server = Server(batching=BatchingConfig(max_batch_size=32,
-                                            max_latency_ms=5))
+                                            max_latency_ms=5,
+                                            num_workers=2))
     version = server.load("fmd", artifact_dir)
+    ens_version = server.load("fmd-ensemble", ensemble_dir)
     httpd, _ = start_http_server(server, port=0)
     port = httpd.server_address[1]
-    print(f"Serving fmd@{version} on http://127.0.0.1:{port}")
+    print(f"Serving fmd@{version} and fmd-ensemble@{ens_version} "
+          f"on http://127.0.0.1:{port} (2 batcher workers per model)")
 
     # ---- 4. query (concurrent clients over HTTP) -------------------------
     test_x = split.test_features
     responses: list = [None] * len(test_x)
+    ens_responses: list = [None] * len(test_x)
     errors: list = []
 
     def client(i: int) -> None:
-        body = json.dumps({"model": "fmd", "inputs": [test_x[i].tolist()]})
-        request = urllib.request.Request(
-            f"http://127.0.0.1:{port}/predict", data=body.encode("utf-8"),
-            headers={"Content-Type": "application/json"})
         try:
-            with urllib.request.urlopen(request, timeout=30) as response:
-                responses[i] = json.loads(response.read())
+            for slot, payload in (
+                    (responses, {"model": "fmd",
+                                 "inputs": [test_x[i].tolist()]}),
+                    # Ensemble requests ride the priority lane with a
+                    # generous deadline (expired requests would get 504).
+                    (ens_responses, {"model": "fmd-ensemble",
+                                     "inputs": [test_x[i].tolist()],
+                                     "priority": 5, "deadline_ms": 30_000})):
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/predict",
+                    data=json.dumps(payload).encode("utf-8"),
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    slot[i] = json.loads(response.read())
         except Exception as error:  # pragma: no cover - smoke failure path
             errors.append((i, error))
 
@@ -100,12 +118,31 @@ def main() -> None:
     assert np.array_equal(served, offline), "served != offline predictions"
     served_accuracy = float((served == split.test_labels).mean())
 
+    # Served ensemble votes must agree with offline taglet voting at the
+    # serving quantum (the ensemble's own bit-identity guarantee).  The
+    # pipeline trained under float32, so offline voting runs under the same
+    # engine dtype — exactly as it did during pseudo-labeling.
+    from repro.nn import default_dtype
+    with default_dtype("float32"):
+        ens_offline = run_at_quantum(
+            lambda rows: result.ensemble.predict_proba(rows, batch_size=None),
+            np.asarray(test_x, dtype=np.float64), 32).argmax(axis=1)
+    ens_served = np.array([r["predictions"][0] for r in ens_responses])
+    assert np.array_equal(ens_served, ens_offline), \
+        "served ensemble != offline voting"
+    ens_accuracy = float((ens_served == split.test_labels).mean())
+
     stats = server.stats()[f"fmd@{version}"]
-    print(f"\n--- served {len(test_x)} concurrent requests ---")
-    print(f"  predictions identical to offline inference: True")
-    print(f"  served accuracy     : {served_accuracy * 100:.1f}%")
-    print(f"  fused forward passes: {stats['batches']} "
-          f"(mean batch {stats['mean_batch_size']})")
+    ens_stats = server.stats()[f"fmd-ensemble@{ens_version}"]
+    print(f"\n--- served {2 * len(test_x)} concurrent requests ---")
+    print(f"  end model predictions identical to offline inference: True")
+    print(f"  ensemble votes identical to offline taglet voting   : True")
+    print(f"  end model accuracy  : {served_accuracy * 100:.1f}%")
+    print(f"  ensemble accuracy   : {ens_accuracy * 100:.1f}%")
+    print(f"  fused forward passes: {stats['batches']} end model "
+          f"(mean batch {stats['mean_batch_size']}), "
+          f"{ens_stats['batches']} ensemble "
+          f"(mean batch {ens_stats['mean_batch_size']})")
     print(f"  example response    : {responses[0]}")
 
     httpd.shutdown()

@@ -93,6 +93,12 @@ class ControllerConfig:
     #: — the train-to-deploy hook.  Test accuracy is recorded in the
     #: manifest's metrics when the task carries a test set.
     export_path: Optional[str] = None
+    #: if set, ``run()`` also exports the full taglet *ensemble* as a
+    #: servable artifact at this directory (schema-v2 multi-member format;
+    #: see :func:`repro.serve.export_ensemble`) — the quality-over-latency
+    #: deployment: the served prediction is the renormalized vote average
+    #: of every taglet (Eq. 6) instead of the distilled student.
+    export_ensemble_path: Optional[str] = None
     seed: int = 0
 
 
@@ -242,6 +248,9 @@ class Controller:
                                task_name=task.name)
         if self.config.export_path is not None:
             self.export(result, self.config.export_path, task=task)
+        if self.config.export_ensemble_path is not None:
+            self.export_ensemble(result, self.config.export_ensemble_path,
+                                 task=task)
         self._last_result = result
         return result
 
@@ -255,6 +264,17 @@ class Controller:
             metrics["test_accuracy"] = result.end_model_accuracy(
                 task.test_features, task.test_labels)
         return export_end_model(result, path, metrics=metrics)
+
+    def export_ensemble(self, result: TagletsResult, path: str,
+                        task: Optional[Task] = None) -> str:
+        """Export the result's taglet ensemble as a servable artifact."""
+        from ..serve.artifact import export_ensemble
+
+        metrics: Dict[str, float] = {}
+        if task is not None and task.has_test_set:
+            metrics["test_accuracy"] = result.ensemble_accuracy(
+                task.test_features, task.test_labels)
+        return export_ensemble(result, path, metrics=metrics)
 
     def train_end_model(self, task: Task) -> EndModel:
         """Artifact-appendix style entry point: run the pipeline, return the end model."""

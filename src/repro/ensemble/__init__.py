@@ -1,5 +1,7 @@
 """``repro.ensemble`` — combining taglet predictions into soft pseudo labels."""
 
-from .voting import TagletEnsemble, ensemble_probabilities, vote_matrix
+from .voting import (TagletEnsemble, ensemble_probabilities,
+                     renormalized_mean, vote_matrix)
 
-__all__ = ["TagletEnsemble", "ensemble_probabilities", "vote_matrix"]
+__all__ = ["TagletEnsemble", "ensemble_probabilities", "renormalized_mean",
+           "vote_matrix"]

@@ -16,7 +16,8 @@ import numpy as np
 
 from ..modules.base import Taglet
 
-__all__ = ["vote_matrix", "ensemble_probabilities", "TagletEnsemble"]
+__all__ = ["vote_matrix", "renormalized_mean", "ensemble_probabilities",
+           "TagletEnsemble"]
 
 
 def vote_matrix(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
@@ -33,8 +34,14 @@ def vote_matrix(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
     return stacked
 
 
-def _renormalized_mean(votes: np.ndarray) -> np.ndarray:
-    """Average a ``(|T|, n, C)`` vote tensor and renormalize rows to sum to one."""
+def renormalized_mean(votes: np.ndarray) -> np.ndarray:
+    """Average a ``(|T|, n, C)`` vote tensor and renormalize rows to sum to one.
+
+    The single vote-fusing computation of the system (Eq. 6): offline
+    pseudo-labeling (:class:`TagletEnsemble`) and the serving tier's fused
+    ensemble inference (:class:`repro.serve.ServableEnsemble`) both call it,
+    which is what keeps served votes bit-identical to offline voting.
+    """
     pseudo = votes.mean(axis=0)
     row_sums = pseudo.sum(axis=1, keepdims=True)
     row_sums[row_sums == 0] = 1.0
@@ -43,7 +50,7 @@ def _renormalized_mean(votes: np.ndarray) -> np.ndarray:
 
 def ensemble_probabilities(taglet_probabilities: Sequence[np.ndarray]) -> np.ndarray:
     """Soft pseudo labels: the average of the taglets' probability vectors (Eq. 6)."""
-    return _renormalized_mean(vote_matrix(taglet_probabilities))
+    return renormalized_mean(vote_matrix(taglet_probabilities))
 
 
 def _member_proba(taglet: Taglet, features: np.ndarray,
@@ -97,7 +104,7 @@ class TagletEnsemble:
             if member.shape != first.shape:
                 raise ValueError("taglet predictions disagree on shape")
             votes[i] = member
-        return _renormalized_mean(votes)
+        return renormalized_mean(votes)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         return self.predict_proba(features).argmax(axis=1)

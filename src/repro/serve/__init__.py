@@ -1,31 +1,40 @@
 """``repro.serve`` — from trained pipeline to answered request.
 
 The deployment layer of the reproduction: versioned artifact export of the
-distilled end model (:mod:`~repro.serve.artifact`), a hot-swappable
-:class:`ModelRegistry`, a dynamic micro-batching engine
+distilled end model *and* the full taglet ensemble
+(:mod:`~repro.serve.artifact`, schema v2), a hot-swappable
+:class:`ModelRegistry`, a dynamic micro-batching engine with priority /
+deadline scheduling and multi-worker draining
 (:mod:`~repro.serve.batching`), and a :class:`Server` front end with a
 stdlib JSON-over-HTTP endpoint plus a ``python -m repro.serve`` CLI.
 
 Typical lifecycle::
 
     result = Controller().run(task)                       # train
-    export_end_model(result, "artifacts/fmd")             # export
+    export_end_model(result, "artifacts/fmd")             # export the student
+    export_ensemble(result, "artifacts/fmd-ensemble")     # ...or the ensemble
     server = Server()
     server.load("fmd", "artifacts/fmd")                   # register v1
+    server.load("fmd-ensemble", "artifacts/fmd-ensemble")
     server.predict(x, model="fmd@latest")                 # query
+    server.predict(x, model="fmd-ensemble", priority=5, deadline_ms=50)
 """
 
-from .artifact import (ArtifactError, SCHEMA_VERSION, ServableModel,
-                       export_end_model, load_servable, read_manifest)
-from .batching import BatcherStats, BatchingConfig, MicroBatcher, input_digest
+from .artifact import (ArtifactError, SCHEMA_VERSION, Servable,
+                       ServableEnsemble, ServableModel, export_end_model,
+                       export_ensemble, load_servable, read_manifest)
+from .batching import (BatcherStats, BatchingConfig, DeadlineExceeded,
+                       MicroBatcher, input_digest)
 from .http import make_http_server, start_http_server
 from .registry import ModelNotFound, ModelRegistry, parse_reference
 from .server import Server
 
 __all__ = [
-    "SCHEMA_VERSION", "ArtifactError", "ServableModel", "export_end_model",
+    "SCHEMA_VERSION", "ArtifactError", "Servable", "ServableModel",
+    "ServableEnsemble", "export_end_model", "export_ensemble",
     "load_servable", "read_manifest",
-    "BatchingConfig", "BatcherStats", "MicroBatcher", "input_digest",
+    "BatchingConfig", "BatcherStats", "DeadlineExceeded", "MicroBatcher",
+    "input_digest",
     "ModelRegistry", "ModelNotFound", "parse_reference",
     "Server", "make_http_server", "start_http_server",
 ]

@@ -7,8 +7,9 @@ Serve one or more exported end-model artifacts::
         --port 8080 --max-batch-size 64 --max-latency-ms 5
 
 With ``--demo``, a small synthetic workspace is built, the TAGLETS pipeline
-is trained end to end, the end model is exported to a temporary directory,
-and the server starts on it — the zero-to-served smoke path CI exercises.
+is trained end to end, the end model *and* the taglet ensemble are exported
+to a temporary directory, and the server starts on both (``default`` and
+``ensemble``) — the zero-to-served smoke path CI exercises.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ import sys
 import tempfile
 from typing import List, Tuple
 
-from .artifact import export_end_model
+from .artifact import export_end_model, export_ensemble
 from .batching import BatchingConfig
 from .http import make_http_server
 from .server import Server
@@ -41,8 +42,14 @@ def _parse_models(args: argparse.Namespace) -> List[Tuple[str, str]]:
     return models
 
 
-def _train_demo_artifact(directory: str, seed: int = 0) -> str:
-    """Train a quick small-workspace pipeline and export it (the CI smoke)."""
+def _train_demo_artifact(directory: str, seed: int = 0) -> Tuple[str, str]:
+    """Train a quick small-workspace pipeline and export it (the CI smoke).
+
+    Returns ``(end_model_path, ensemble_path)`` — both deployment shapes
+    (the distilled student and the voted ensemble) from one run.
+    """
+    import os
+
     from ..core import Controller, ControllerConfig, Task
     from ..distill import EndModelConfig
     from ..kg import GraphSpec
@@ -66,11 +73,19 @@ def _train_demo_artifact(directory: str, seed: int = 0) -> str:
     result = Controller(modules=[MultiTaskModule(MultiTaskConfig(epochs=10))],
                         config=config).run(task)
     accuracy = result.end_model_accuracy(split.test_features, split.test_labels)
-    path = export_end_model(result, directory,
-                            metrics={"test_accuracy": accuracy})
-    print(f"demo: exported end model (test accuracy {accuracy:.3f}) to {path}",
+    end_path = export_end_model(result, os.path.join(directory, "end-model"),
+                                metrics={"test_accuracy": accuracy})
+    print(f"demo: exported end model (test accuracy {accuracy:.3f}) "
+          f"to {end_path}", flush=True)
+    ensemble_accuracy = result.ensemble_accuracy(split.test_features,
+                                                 split.test_labels)
+    ensemble_path = export_ensemble(
+        result, os.path.join(directory, "ensemble"),
+        metrics={"test_accuracy": ensemble_accuracy})
+    print(f"demo: exported {len(result.taglets)}-member ensemble "
+          f"(test accuracy {ensemble_accuracy:.3f}) to {ensemble_path}",
           flush=True)
-    return path
+    return end_path, ensemble_path
 
 
 def main(argv=None) -> int:
@@ -90,19 +105,27 @@ def main(argv=None) -> int:
                         help="max time the first request waits for a batch")
     parser.add_argument("--cache-size", type=int, default=1024,
                         help="LRU prediction-cache entries (0 disables)")
+    parser.add_argument("--num-workers", type=int, default=1,
+                        help="worker threads per model draining the batch "
+                             "queue (forwards release the GIL; >1 overlaps "
+                             "forwards on multi-core hosts)")
     parser.add_argument("--demo", action="store_true",
-                        help="train a small synthetic pipeline and serve it")
+                        help="train a small synthetic pipeline and serve it "
+                             "(both the end model and the taglet ensemble)")
     args = parser.parse_args(argv)
 
     batching = BatchingConfig(max_batch_size=args.max_batch_size,
                               max_latency_ms=args.max_latency_ms,
-                              cache_size=args.cache_size)
+                              cache_size=args.cache_size,
+                              num_workers=args.num_workers)
     server = Server(batching=batching)
 
     demo_dir = None
     if args.demo:
         demo_dir = tempfile.mkdtemp(prefix="repro-serve-demo-")
-        server.load("default", _train_demo_artifact(demo_dir))
+        end_path, ensemble_path = _train_demo_artifact(demo_dir)
+        server.load("default", end_path)
+        server.load("ensemble", ensemble_path)
     models = _parse_models(args)
     if not models and not args.demo:
         parser.error("nothing to serve: pass artifact paths, --model, or --demo")

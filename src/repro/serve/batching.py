@@ -3,11 +3,25 @@
 The serving hot path has the same shape as the training fast path: NumPy's
 per-call overhead dwarfs the arithmetic at small batch sizes, so answering
 each request with its own forward wastes most of the machine.  The
-:class:`MicroBatcher` instead drains a request queue on a worker thread into
-batches bounded by ``max_batch_size`` and ``max_latency_ms``, runs *one*
-forward over the concatenated rows, and fans the result rows back out to
-per-request futures — the batched-routing shape of distributed serving
-stacks, scaled to one process.
+:class:`MicroBatcher` instead drains a request queue on one or more worker
+threads into batches bounded by ``max_batch_size`` and ``max_latency_ms``,
+runs *one* forward over the concatenated rows, and fans the result rows back
+out to per-request futures — the batched-routing shape of distributed
+serving stacks, scaled to one process.
+
+Traffic shaping: requests carry an optional **priority** (higher drains
+first; FIFO within a level) and an optional **deadline** — a request whose
+deadline passes while it queues fails fast with :class:`DeadlineExceeded`
+instead of occupying rows in a forward.  With ``num_workers > 1`` several
+workers drain the same queue concurrently: module forwards are BLAS-bound
+and release the GIL, so on a multi-core host forwards genuinely overlap
+(the batch quantum stays fixed, so served bits do not depend on which
+worker answered).
+
+Isolation: a request is validated against the servable's feature width and
+dtype *at submit time*, so one malformed request fails alone with a
+``ValueError`` instead of poisoning every innocent request fused into its
+batch.
 
 An LRU prediction cache keyed by input digest sits in front of the forward:
 repeated requests (health probes, hot queries) are answered without touching
@@ -17,18 +31,23 @@ the model.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import queue
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["BatchingConfig", "BatcherStats", "MicroBatcher", "input_digest",
-           "run_at_quantum"]
+__all__ = ["BatchingConfig", "BatcherStats", "DeadlineExceeded",
+           "MicroBatcher", "input_digest", "run_at_quantum"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline passed before a worker could serve it."""
 
 
 def run_at_quantum(fn, rows: np.ndarray, quantum: int) -> np.ndarray:
@@ -82,6 +101,13 @@ class BatchingConfig:
     #: to offline inference at the same quantum
     #: (``ServableModel.predict_proba(x, batch_size=max_batch_size)``).
     pad_to_max_batch: bool = True
+    #: worker threads draining the queue.  Forwards are BLAS-bound and
+    #: release the GIL, so on a multi-core host N workers genuinely overlap
+    #: N forwards; on a single CPU extra workers only add switching, so the
+    #: default stays 1.  Bit-determinism is preserved at any worker count:
+    #: with ``pad_to_max_batch`` every forward runs at the fixed quantum,
+    #: and a row's result does not depend on which worker ran it.
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -90,6 +116,8 @@ class BatchingConfig:
             raise ValueError("max_latency_ms must be >= 0")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
 
 
 @dataclass
@@ -103,6 +131,28 @@ class BatcherStats:
     cache_hits: int = 0
     cache_misses: int = 0
     largest_batch: int = 0
+    #: requests rejected at submit (wrong width/dtype/shape) — each failed
+    #: alone, no batch-mate ever saw them
+    rejected: int = 0
+    #: requests whose deadline passed before a forward could serve them
+    expired: int = 0
+
+    def add(self, other: "BatcherStats") -> "BatcherStats":
+        """Accumulate ``other`` into this instance (counters sum,
+        ``largest_batch`` takes the max); returns ``self``.  Iterates the
+        dataclass fields so a newly added counter aggregates automatically
+        instead of being silently dropped from rollups."""
+        for field in fields(self):
+            if field.name == "largest_batch":
+                self.largest_batch = max(self.largest_batch,
+                                         other.largest_batch)
+            else:
+                setattr(self, field.name,
+                        getattr(self, field.name) + getattr(other, field.name))
+        return self
+
+    def copy(self) -> "BatcherStats":
+        return BatcherStats().add(self)
 
     def as_dict(self) -> Dict[str, float]:
         mean = (self.batched_examples / self.batches) if self.batches else 0.0
@@ -110,14 +160,18 @@ class BatcherStats:
                 "batches": self.batches, "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "largest_batch": self.largest_batch,
-                "mean_batch_size": round(mean, 2)}
+                "mean_batch_size": round(mean, 2),
+                "rejected": self.rejected, "expired": self.expired}
 
 
 def input_digest(features: np.ndarray, salt: str = "") -> str:
     """Digest of one request's input rows (the prediction-cache key).
 
     Covers shape, dtype, and raw bytes; ``salt`` carries the model
-    fingerprint so a hot-swap never serves stale cached predictions.
+    fingerprint so a hot-swap never serves stale cached predictions.  The
+    micro-batcher digests the rows *after* normalizing them to the
+    servable's dtype, so identical rows submitted as float32 vs float64
+    share one cache entry.
     """
     array = np.ascontiguousarray(features)
     digest = hashlib.sha256()
@@ -153,24 +207,104 @@ class _LRUCache:
                 self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class _Request:
     __slots__ = ("features", "future", "rows", "single", "digest",
-                 "enqueued_at")
+                 "enqueued_at", "priority", "deadline", "sort_key")
 
-    def __init__(self, features: np.ndarray, single: bool):
+    def __init__(self, features: np.ndarray, single: bool,
+                 priority: int = 0, deadline: Optional[float] = None):
         self.features = features
         self.future: "Future[np.ndarray]" = Future()
         self.rows = len(features)
         self.single = single
         self.digest: Optional[str] = None
         self.enqueued_at = time.perf_counter()
+        self.priority = priority
+        #: absolute ``time.perf_counter()`` instant, or None for no deadline
+        self.deadline = deadline
+        #: heap key assigned by the queue; reused when a request that would
+        #: overflow a batch is handed back, so it keeps its place in line
+        self.sort_key: Optional[tuple] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.perf_counter()) > self.deadline
 
 
-#: Sentinel asking the worker thread to drain the queue and exit.
+#: Sentinel asking the worker threads to drain the queue and exit.
 _SHUTDOWN = object()
+
+
+class _RequestQueue:
+    """A blocking priority queue of requests (plus the shutdown sentinel).
+
+    Orders by ``(-priority, enqueue_seq)``: higher priorities drain first,
+    FIFO within a priority level.  The shutdown sentinel sorts *after*
+    every request, so by the time any worker pops it the queue holds no
+    unanswered work — which is what lets N workers share one queue and one
+    sentinel.  ``maxsize=0`` means unbounded; when bounded, ``put`` blocks
+    (back-pressure) unless forced.
+    """
+
+    def __init__(self, maxsize: int = 0):
+        self._maxsize = maxsize
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    def put(self, item, force: bool = False) -> None:
+        with self._lock:
+            if self._maxsize > 0 and not force:
+                while len(self._heap) >= self._maxsize:
+                    self._not_full.wait()
+            self._seq += 1
+            # Keys are unique (the sequence number is embedded), so heap
+            # comparisons never fall through to the item itself.
+            if item is _SHUTDOWN:
+                key = (float("inf"), self._seq)
+            else:
+                key = (-item.priority, self._seq)
+                item.sort_key = key
+            heapq.heappush(self._heap, (key, item))
+            self._not_empty.notify()
+
+    def put_back(self, request: "_Request") -> None:
+        """Re-insert a popped request under its original key (it keeps its
+        place in line).  Never blocks — a worker handing work back must not
+        deadlock against a full queue."""
+        with self._lock:
+            heapq.heappush(self._heap, (request.sort_key, request))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None):
+        """Pop the highest-priority item, blocking up to ``timeout`` seconds
+        (``None`` blocks forever).  Raises ``queue.Empty`` on timeout."""
+        with self._lock:
+            if timeout is None:
+                while not self._heap:
+                    self._not_empty.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while not self._heap:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise queue.Empty
+                    self._not_empty.wait(remaining)
+            _, item = heapq.heappop(self._heap)
+            if self._maxsize > 0:
+                self._not_full.notify()
+            return item
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
 
 
 class MicroBatcher:
@@ -178,51 +312,110 @@ class MicroBatcher:
 
     ``predict_fn`` maps a ``(n, d)`` float array to an ``(n, k)`` array;
     rows are independent (as in any batched model forward), which is what
-    makes fan-out/fan-in sound.  One daemon worker thread owns the model
-    forward, so the model itself needs no thread safety.
+    makes fan-out/fan-in sound.  With ``num_workers == 1`` a single daemon
+    worker thread owns the model forward, so the model itself needs no
+    thread safety; with more workers ``predict_fn`` must be safe to call
+    concurrently (true of the read-only compiled servable forwards — see
+    :mod:`repro.serve.artifact`).
+
+    ``input_dim`` / ``dtype``, when given (the :class:`~repro.serve.Server`
+    plumbs them from the servable), are enforced at :meth:`submit`: a
+    request with the wrong feature width or an uncastable dtype raises
+    ``ValueError`` immediately and alone, and every request is normalized to
+    the servable dtype *before* it is digested or fused — so a malformed or
+    mixed-dtype request can never poison the batch-mates it would have been
+    fused with, and identical rows share one cache entry regardless of the
+    dtype they were submitted as.
     """
 
     def __init__(self, predict_fn: Callable[[np.ndarray], np.ndarray],
                  config: Optional[BatchingConfig] = None,
-                 cache_salt: str = ""):
+                 cache_salt: str = "",
+                 input_dim: Optional[int] = None,
+                 dtype: Optional[np.dtype] = None):
         self.predict_fn = predict_fn
         self.config = config or BatchingConfig()
         self.cache_salt = cache_salt
+        self.input_dim = input_dim
+        self.dtype = np.dtype(dtype) if dtype is not None else None
         self._cache = _LRUCache(self.config.cache_size)
-        self._queue: "queue.Queue" = queue.Queue(self.config.max_queue_size)
+        self._queue = _RequestQueue(self.config.max_queue_size)
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
         self._closed = False
         # Serializes enqueues against close(): a request put under this lock
-        # is guaranteed to precede the shutdown sentinel in the queue, so the
-        # worker always answers it before exiting (no future ever hangs).
+        # is guaranteed to sort ahead of the shutdown sentinel, so a worker
+        # always answers it before exiting (no future ever hangs).
         self._submit_lock = threading.Lock()
-        self._worker = threading.Thread(target=self._run, daemon=True,
-                                        name="repro-serve-batcher")
-        self._worker.start()
+        self._worker_stats = [BatcherStats()
+                              for _ in range(self.config.num_workers)]
+        self._workers = [
+            threading.Thread(target=self._run, args=(stats,), daemon=True,
+                             name=f"repro-serve-batcher-{i}")
+            for i, stats in enumerate(self._worker_stats)]
+        for worker in self._workers:
+            worker.start()
 
     # ------------------------------------------------------------------ #
     # Client side
     # ------------------------------------------------------------------ #
-    def submit(self, features: np.ndarray) -> "Future[np.ndarray]":
+    def _validate(self, features: np.ndarray) -> np.ndarray:
+        """Shape/width/dtype checks + dtype normalization for one request.
+
+        Raises ``ValueError`` on a malformed request — synchronously, before
+        the request can ever reach a fused batch — and returns the array
+        normalized to the servable dtype otherwise.
+        """
+        array = np.asarray(features)
+        if array.ndim not in (1, 2) or array.size == 0:
+            raise ValueError(f"expected (d,) or non-empty (n, d) input, "
+                             f"got shape {array.shape}")
+        width = array.shape[-1]
+        if self.input_dim is not None and width != self.input_dim:
+            raise ValueError(
+                f"request has {width} features per row; this model takes "
+                f"{self.input_dim}")
+        if self.dtype is not None and array.dtype != self.dtype:
+            if not np.can_cast(array.dtype, self.dtype, casting="same_kind"):
+                raise ValueError(
+                    f"request dtype {array.dtype} cannot be cast to the "
+                    f"model dtype {self.dtype}")
+            array = array.astype(self.dtype)
+        return array
+
+    def submit(self, features: np.ndarray, priority: int = 0,
+               deadline_ms: Optional[float] = None) -> "Future[np.ndarray]":
         """Enqueue one request; the future resolves to its prediction rows.
 
         ``features`` may be a single example ``(d,)`` or a block ``(n, d)``;
         the future carries matching ``(k,)`` or ``(n, k)`` predictions.
+        Higher ``priority`` requests drain first (FIFO within a level).
+        With ``deadline_ms``, a request still queued that many milliseconds
+        from now fails with :class:`DeadlineExceeded` instead of occupying
+        rows in a forward.
         """
         if self._closed:
             raise RuntimeError("MicroBatcher is closed")
-        array = np.asarray(features)
+        try:
+            array = self._validate(features)
+        except ValueError:
+            with self._stats_lock:
+                self._stats.rejected += 1
+            raise
         single = array.ndim == 1
         if single:
             array = array[None, :]
-        if array.ndim != 2 or len(array) == 0:
-            raise ValueError(f"expected (d,) or non-empty (n, d) input, "
-                             f"got shape {np.asarray(features).shape}")
-        request = _Request(array, single=single)
+        deadline = None
+        if deadline_ms is not None:
+            deadline = time.perf_counter() + float(deadline_ms) / 1000.0
+        request = _Request(array, single=single, priority=int(priority),
+                           deadline=deadline)
         with self._stats_lock:
             self._stats.requests += 1
             self._stats.examples += request.rows
+        if request.expired():
+            self._expire(request)
+            return request.future
         # Answer straight from the cache when possible — no queue, no batch.
         if self.config.cache_size > 0:
             request.digest = input_digest(array, self.cache_salt)
@@ -244,13 +437,44 @@ class MicroBatcher:
         return request.future
 
     def predict(self, features: np.ndarray,
-                timeout: Optional[float] = None) -> np.ndarray:
+                timeout: Optional[float] = None, priority: int = 0,
+                deadline_ms: Optional[float] = None) -> np.ndarray:
         """Blocking convenience wrapper over :meth:`submit`."""
-        return self.submit(features).result(timeout=timeout)
+        return self.submit(features, priority=priority,
+                           deadline_ms=deadline_ms).result(timeout=timeout)
 
-    def stats(self) -> Dict[str, float]:
+    def snapshot(self) -> BatcherStats:
+        """All counters rolled up across workers, as one BatcherStats."""
         with self._stats_lock:
-            return self._stats.as_dict()
+            merged = self._stats.copy()
+            for worker_stats in self._worker_stats:
+                merged.add(worker_stats)
+        return merged
+
+    def worker_breakdown(self) -> Optional[List[Dict[str, int]]]:
+        """Per-worker batch counters, or ``None`` with a single worker."""
+        if self.config.num_workers <= 1:
+            return None
+        with self._stats_lock:
+            return [{"batches": ws.batches,
+                     "batched_examples": ws.batched_examples,
+                     "largest_batch": ws.largest_batch}
+                    for ws in self._worker_stats]
+
+    def stats(self, merged: Optional[BatcherStats] = None) -> Dict[str, object]:
+        """Rolled-up counters plus worker metadata, as one JSON-ready dict.
+
+        ``merged`` substitutes pre-merged counters (the :class:`Server`
+        passes the snapshot combined with a retired predecessor's counters)
+        so every ``stats`` consumer shares this one entry shape.
+        """
+        stats = merged if merged is not None else self.snapshot()
+        result: Dict[str, object] = stats.as_dict()
+        result["num_workers"] = self.config.num_workers
+        breakdown = self.worker_breakdown()
+        if breakdown is not None:   # the live batcher's share only
+            result["per_worker"] = breakdown
+        return result
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting work, serve everything already queued, then exit."""
@@ -258,8 +482,21 @@ class MicroBatcher:
             if self._closed:
                 return
             self._closed = True
-            self._queue.put(_SHUTDOWN)
-        self._worker.join(timeout=timeout)
+            # One sentinel is enough for N workers: it sorts after every
+            # request, and each exiting worker re-enqueues it for the next.
+            self._queue.put(_SHUTDOWN, force=True)
+        # One shared deadline across all joins, so the worst case is
+        # ``timeout`` total — not ``timeout`` per worker.
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        for worker in self._workers:
+            remaining = (max(0.0, deadline - time.monotonic())
+                         if deadline is not None else None)
+            worker.join(timeout=remaining)
+
+    def is_draining(self) -> bool:
+        """True while any worker thread is still running (e.g. answering
+        queued requests after :meth:`close`) — its counters may still move."""
+        return any(worker.is_alive() for worker in self._workers)
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -270,8 +507,23 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # Worker side
     # ------------------------------------------------------------------ #
+    def _expire(self, request: "_Request") -> None:
+        with self._stats_lock:
+            self._stats.expired += 1
+        waited = (time.perf_counter() - request.enqueued_at) * 1000.0
+        request.future.set_exception(DeadlineExceeded(
+            f"request deadline exceeded after {waited:.1f} ms in queue"))
+
     def _drain_batch(self, first: "_Request") -> List["_Request"]:
-        """Gather requests until the batch is full or the deadline passes."""
+        """Gather requests until the batch is full or the deadline passes.
+
+        A request whose rows would push the batch past ``max_batch_size`` is
+        handed back to the queue (keeping its place in line) and opens the
+        next batch instead — a batch never overshoots the configured max.
+        Only a single request larger than the whole quantum runs alone:
+        chunked to the quantum by ``run_at_quantum`` when
+        ``pad_to_max_batch`` is on, as one oversized forward otherwise.
+        """
         batch = [first]
         rows = first.rows
         deadline = time.perf_counter() + self.config.max_latency_ms / 1000.0
@@ -285,7 +537,13 @@ class MicroBatcher:
                 break
             if item is _SHUTDOWN:
                 # Re-enqueue so the outer loop sees it after this batch.
-                self._queue.put(_SHUTDOWN)
+                self._queue.put(_SHUTDOWN, force=True)
+                break
+            if item.expired():
+                self._expire(item)
+                continue
+            if rows + item.rows > self.config.max_batch_size:
+                self._queue.put_back(item)
                 break
             batch.append(item)
             rows += item.rows
@@ -298,7 +556,8 @@ class MicroBatcher:
             return self.predict_fn(fused)
         return run_at_quantum(self.predict_fn, fused, quantum)
 
-    def _process(self, batch: List["_Request"]) -> None:
+    def _process(self, batch: List["_Request"],
+                 worker_stats: BatcherStats) -> None:
         rows = int(sum(r.rows for r in batch))
         fused = (batch[0].features if len(batch) == 1
                  else np.concatenate([r.features for r in batch]))
@@ -309,9 +568,9 @@ class MicroBatcher:
                 request.future.set_exception(error)
             return
         with self._stats_lock:
-            self._stats.batches += 1
-            self._stats.batched_examples += rows
-            self._stats.largest_batch = max(self._stats.largest_batch, rows)
+            worker_stats.batches += 1
+            worker_stats.batched_examples += rows
+            worker_stats.largest_batch = max(worker_stats.largest_batch, rows)
         offset = 0
         for request in batch:
             result = predictions[offset:offset + request.rows]
@@ -323,20 +582,16 @@ class MicroBatcher:
                 self._cache.put(request.digest, result.copy())
             request.future.set_result(result[0] if request.single else result)
 
-    def _run(self) -> None:
+    def _run(self, worker_stats: BatcherStats) -> None:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
-                # Drain whatever arrived before close() and answer it.
-                leftovers: List[_Request] = []
-                while True:
-                    try:
-                        tail = self._queue.get_nowait()
-                    except queue.Empty:
-                        break
-                    if tail is not _SHUTDOWN:
-                        leftovers.append(tail)
-                if leftovers:
-                    self._process(leftovers)
+                # Requests all sort ahead of the sentinel, so the queue
+                # holds no unanswered work; re-enqueue it so sibling
+                # workers wake up and exit too.
+                self._queue.put(_SHUTDOWN, force=True)
                 return
-            self._process(self._drain_batch(item))
+            if item.expired():
+                self._expire(item)
+                continue
+            self._process(self._drain_batch(item), worker_stats)

@@ -10,8 +10,17 @@ Routes::
     GET  /healthz   -> {"status": "ok"}
     GET  /models    -> registry listing (manifest summaries per version)
     GET  /stats     -> per-model batcher counters
+    GET  /describe  -> full server description (models + batching + stats)
     POST /predict   -> {"model": "name[@version]", "inputs": [[...], ...],
-                        "return_probabilities": false}
+                        "return_probabilities": false,
+                        "priority": 0, "deadline_ms": null}
+
+Error mapping: a malformed request (bad JSON, wrong feature width or
+dtype) is the client's fault and returns **400** — and, because requests
+are validated before they are fused, it fails alone without disturbing the
+valid requests batched alongside it.  A request whose ``deadline_ms``
+passes while it queues returns **504**.  Unknown models are **404**; only
+genuine serving failures return **500**.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from typing import Tuple
 
 import numpy as np
 
+from .batching import DeadlineExceeded
 from .registry import ModelNotFound
 from .server import Server
 
@@ -35,7 +45,7 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 class _ServeHandler(BaseHTTPRequestHandler):
     """Dispatches HTTP requests to the attached :class:`Server`."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     #: the attached Server instance (set by :func:`make_http_server`)
     serve_app: Server
 
@@ -66,6 +76,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
         elif self.path == "/models":
             self._send_json(app.registry.describe())
         elif self.path == "/stats":
+            self._send_json(app.stats())
+        elif self.path == "/describe":
             self._send_json(app.describe())
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
@@ -109,13 +121,32 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 400, f"inputs must be one example or a non-empty batch, "
                      f"got shape {array.shape}")
             return
+        # null is treated like an absent field for both optional knobs.
+        priority = payload.get("priority")
+        try:
+            priority = 0 if priority is None else int(priority)
+        except (TypeError, ValueError):
+            self._send_error_json(400, "'priority' must be an integer")
+            return
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                self._send_error_json(
+                    400, "'deadline_ms' must be a number of milliseconds")
+                return
         try:
             response = app.predict(
                 array, model=str(model),
                 return_probabilities=bool(payload.get("return_probabilities",
-                                                      False)))
+                                                      False)),
+                priority=priority, deadline_ms=deadline_ms)
         except ModelNotFound as error:
             self._send_error_json(404, str(error))
+            return
+        except DeadlineExceeded as error:
+            self._send_error_json(504, str(error))
             return
         except ValueError as error:
             self._send_error_json(400, str(error))

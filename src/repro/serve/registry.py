@@ -1,6 +1,6 @@
 """A versioned in-process store of servable models.
 
-The registry maps ``name -> {version -> ServableModel}`` plus a ``latest``
+The registry maps ``name -> {version -> servable}`` plus a ``latest``
 pointer per name.  References are strings of the form ``name``,
 ``name@latest``, or ``name@<version>``; resolution is atomic under a lock
 and returns the servable *object*, so a request that resolved version ``2``
@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Tuple
 
-from .artifact import ServableModel, load_servable
+from .artifact import Servable, ServableModel, load_servable
 
 __all__ = ["ModelRegistry", "ModelNotFound", "parse_reference"]
 
@@ -40,14 +40,14 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._models: Dict[str, "Dict[str, ServableModel]"] = {}
+        self._models: Dict[str, "Dict[str, Servable]"] = {}
         self._latest: Dict[str, str] = {}
         self._counters: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
     # ------------------------------------------------------------------ #
-    def register(self, name: str, servable: ServableModel,
+    def register(self, name: str, servable: Servable,
                  version: Optional[str] = None,
                  make_latest: bool = True) -> str:
         """Add a servable under ``name`` and return its version string.
@@ -57,8 +57,9 @@ class ModelRegistry:
         swings to the new version in the same critical section — the hot
         swap is one atomic pointer update.
         """
-        if not isinstance(servable, ServableModel):
-            raise TypeError(f"expected a ServableModel, got {type(servable).__name__}")
+        if not isinstance(servable, Servable):
+            raise TypeError(f"expected a Servable (ServableModel or "
+                            f"ServableEnsemble), got {type(servable).__name__}")
         with self._lock:
             versions = self._models.setdefault(name, {})
             if version is None:
@@ -116,7 +117,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     # Resolution
     # ------------------------------------------------------------------ #
-    def resolve(self, reference: str) -> Tuple[str, str, ServableModel]:
+    def resolve(self, reference: str) -> Tuple[str, str, Servable]:
         """Resolve ``name[@version]`` to ``(name, concrete_version, servable)``."""
         name, version = parse_reference(reference)
         with self._lock:

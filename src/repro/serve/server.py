@@ -4,29 +4,37 @@
 of.  Each registered ``(name, version)`` gets its own :class:`MicroBatcher`
 (created lazily, keyed by the servable's weight fingerprint so caches are
 never shared across different weights); ``submit`` resolves the reference,
-routes the request to that batcher, and returns a future.  Because requests
-hold the resolved servable's batcher, repointing ``name@latest`` mid-flight
-swaps where *new* requests go while old ones finish on the version they
-resolved — a zero-downtime hot swap.
+routes the request to that batcher, and returns a future.  Ensemble
+servables route exactly like end models — ``ensemble@version`` is just
+another reference.  Because requests hold the resolved servable's batcher,
+repointing ``name@latest`` mid-flight swaps where *new* requests go while
+old ones finish on the version they resolved — a zero-downtime hot swap.
+
+The batcher is constructed with the servable's ``input_dim`` and ``dtype``,
+so a malformed request (wrong feature width, uncastable dtype) fails alone
+at ``submit`` with a ``ValueError`` instead of poisoning the batch it would
+have been fused into.  Requests may carry a ``priority`` (higher drains
+first) and a ``deadline_ms`` (expired requests fail fast with
+:class:`~repro.serve.DeadlineExceeded` instead of occupying a forward).
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .artifact import ServableModel, load_servable
-from .batching import BatchingConfig, MicroBatcher
+from .artifact import Servable, load_servable
+from .batching import BatcherStats, BatchingConfig, MicroBatcher
 from .registry import ModelRegistry
 
 __all__ = ["Server"]
 
 
 class Server:
-    """Serve registered end models with dynamic micro-batching.
+    """Serve registered servables with dynamic micro-batching.
 
     Usable as a context manager; :meth:`close` drains every batcher.
     """
@@ -38,14 +46,21 @@ class Server:
         #: (name, version) -> (servable, its batcher); the servable is kept
         #: so a re-registered version is detected by weight fingerprint
         self._batchers: Dict[Tuple[str, str],
-                             Tuple[ServableModel, MicroBatcher]] = {}
+                             Tuple[Servable, MicroBatcher]] = {}
+        #: counters of batchers retired by a hot-swap re-registration,
+        #: accumulated so ``stats()`` never silently loses served traffic
+        self._retired: Dict[Tuple[str, str], BatcherStats] = {}
+        #: retired batchers still draining queued requests; their counters
+        #: are read live by ``stats()`` and folded into ``_retired`` once
+        #: the worker threads exit, so no served request is ever uncounted
+        self._draining: Dict[Tuple[str, str], List[MicroBatcher]] = {}
         self._lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # Model management (thin passthroughs over the registry)
     # ------------------------------------------------------------------ #
-    def register(self, name: str, servable: ServableModel,
+    def register(self, name: str, servable: Servable,
                  version: Optional[str] = None, make_latest: bool = True) -> str:
         return self.registry.register(name, servable, version=version,
                                       make_latest=make_latest)
@@ -56,7 +71,7 @@ class Server:
                                       version=version, make_latest=make_latest)
 
     def _batcher_for(self, name: str, version: str,
-                     servable: ServableModel) -> MicroBatcher:
+                     servable: Servable) -> MicroBatcher:
         key = (name, version)
         stale = None
         with self._lock:
@@ -70,39 +85,71 @@ class Server:
             if entry is not None and entry[0] is not servable \
                     and entry[0].fingerprint != servable.fingerprint:
                 stale = entry[1]
+                # Track the retiree while it drains: stats() keeps reading
+                # its counters live, so a hot swap never shows a transient
+                # dip (or permanently loses a slow final batch).
+                self._draining.setdefault(key, []).append(stale)
                 entry = None
             if entry is None:
                 entry = (servable,
                          MicroBatcher(servable.predict_proba,
                                       config=self.batching,
-                                      cache_salt=servable.fingerprint))
+                                      cache_salt=servable.fingerprint,
+                                      input_dim=servable.input_dim,
+                                      dtype=servable.dtype))
                 self._batchers[key] = entry
         if stale is not None:
             stale.close()   # outside the lock; queued requests still answer
+            with self._lock:
+                self._reap_drained_locked()
         return entry[1]
+
+    def _reap_drained_locked(self) -> None:
+        """Fold finished retirees' final counters into the retired bucket
+        (callers hold ``self._lock``).  A batcher still draining stays
+        tracked and keeps being read live."""
+        for key, batchers in list(self._draining.items()):
+            still_draining = []
+            for batcher in batchers:
+                if batcher.is_draining():
+                    still_draining.append(batcher)
+                else:
+                    self._retired.setdefault(key, BatcherStats()).add(
+                        batcher.snapshot())
+            if still_draining:
+                self._draining[key] = still_draining
+            else:
+                del self._draining[key]
 
     # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
-    def submit(self, inputs: np.ndarray,
-               model: str = "default") -> "Future[np.ndarray]":
+    def submit(self, inputs: np.ndarray, model: str = "default",
+               priority: int = 0,
+               deadline_ms: Optional[float] = None) -> "Future[np.ndarray]":
         """Route one request to ``model``'s batcher; resolves to probabilities.
 
         ``inputs`` is one example ``(d,)`` or a block ``(n, d)``; the future
         carries the matching ``(k,)`` / ``(n, k)`` class-probability rows.
+        Higher ``priority`` requests drain first; with ``deadline_ms`` the
+        request fails fast with ``DeadlineExceeded`` once expired.
         """
         name, version, servable = self.registry.resolve(model)
-        return self._batcher_for(name, version, servable).submit(inputs)
+        return self._batcher_for(name, version, servable).submit(
+            inputs, priority=priority, deadline_ms=deadline_ms)
 
     def predict(self, inputs: np.ndarray, model: str = "default",
                 return_probabilities: bool = False,
-                timeout: Optional[float] = None) -> dict:
+                timeout: Optional[float] = None, priority: int = 0,
+                deadline_ms: Optional[float] = None) -> dict:
         """Blocking prediction returning a JSON-friendly response dict."""
         name, version, servable = self.registry.resolve(model)
         batcher = self._batcher_for(name, version, servable)
         array = np.asarray(inputs)
         single = array.ndim == 1
-        probabilities = batcher.submit(array).result(timeout=timeout)
+        probabilities = batcher.submit(array, priority=priority,
+                                       deadline_ms=deadline_ms).result(
+                                           timeout=timeout)
         rows = probabilities[None, :] if single else probabilities
         indices = rows.argmax(axis=1)
         response = {
@@ -120,9 +167,31 @@ class Server:
     # Introspection and lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, dict]:
+        """Per-model batcher counters, including retired batchers' traffic.
+
+        A ``(name, version)`` that was hot-swap re-registered keeps the
+        counters its retired batcher accumulated (read live while it is
+        still draining); the live batcher's counters are added on top.
+        """
         with self._lock:
-            return {f"{name}@{version}": entry[1].stats()
-                    for (name, version), entry in self._batchers.items()}
+            self._reap_drained_locked()
+            live = {key: entry[1] for key, entry in self._batchers.items()}
+            draining = {key: list(batchers)
+                        for key, batchers in self._draining.items()}
+            retired = {key: stats.copy()
+                       for key, stats in self._retired.items()}
+        merged: Dict[str, dict] = {}
+        for key in set(live) | set(draining) | set(retired):
+            stats = retired.get(key, BatcherStats())
+            for batcher in draining.get(key, []):
+                stats.add(batcher.snapshot())
+            batcher = live.get(key)
+            if batcher is not None:
+                stats.add(batcher.snapshot())
+                merged[f"{key[0]}@{key[1]}"] = batcher.stats(merged=stats)
+            else:
+                merged[f"{key[0]}@{key[1]}"] = stats.as_dict()
+        return merged
 
     def describe(self) -> dict:
         return {"models": self.registry.describe(),
@@ -130,6 +199,7 @@ class Server:
                     "max_batch_size": self.batching.max_batch_size,
                     "max_latency_ms": self.batching.max_latency_ms,
                     "cache_size": self.batching.cache_size,
+                    "num_workers": self.batching.num_workers,
                 },
                 "stats": self.stats()}
 
@@ -138,8 +208,12 @@ class Server:
         with self._lock:
             self._closed = True
             entries = list(self._batchers.values())
+            draining = [batcher for batchers in self._draining.values()
+                        for batcher in batchers]
             self._batchers.clear()
         for _, batcher in entries:
+            batcher.close()
+        for batcher in draining:
             batcher.close()
 
     def __enter__(self) -> "Server":

@@ -8,19 +8,50 @@ exercise the real train → export → serve path).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.backbones.backbone import BackboneSpec, ClassificationModel, Encoder
 from repro.core import Controller, ControllerConfig, Task
 from repro.distill import EndModel, EndModelConfig
+from repro.ensemble import TagletEnsemble
 from repro.modules import MultiTaskConfig, MultiTaskModule
-from repro.serve import export_end_model, load_servable
+from repro.modules.base import ModelTaglet
+from repro.modules.zsl_kg import ZslKgTaglet
+from repro.serve import export_end_model, export_ensemble, load_servable
 
 SPEC = BackboneSpec(name="resnet50", input_dim=24, hidden_dims=(48, 32),
                     feature_dim=32)
 NUM_CLASSES = 7
 CLASS_NAMES = [f"class_{i}" for i in range(NUM_CLASSES)]
+
+
+class GatedModel:
+    """A recording stand-in model whose first call blocks on an event.
+
+    Lets a test park the batcher worker inside a forward while it stages
+    the queue, making batch-composition scenarios deterministic.
+    """
+
+    def __init__(self):
+        self.calls = []
+        self.release = threading.Event()
+        self.entered = threading.Event()
+        self._first = True
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        self.calls.append(np.array(batch, copy=True))
+        if self._first:
+            self._first = False
+            self.entered.set()
+            assert self.release.wait(timeout=10)
+        return batch.copy()
+
+    @property
+    def call_sizes(self):
+        return [len(call) for call in self.calls]
 
 
 def make_end_model(seed: int = 0, num_classes: int = NUM_CLASSES) -> EndModel:
@@ -29,6 +60,26 @@ def make_end_model(seed: int = 0, num_classes: int = NUM_CLASSES) -> EndModel:
     model = ClassificationModel(encoder, num_classes,
                                 rng=np.random.default_rng(seed + 1))
     return EndModel(model)
+
+
+def make_model(seed: int, num_classes: int = NUM_CLASSES) -> ClassificationModel:
+    encoder = Encoder(SPEC, rng=np.random.default_rng(seed))
+    return ClassificationModel(encoder, num_classes,
+                               rng=np.random.default_rng(seed + 1))
+
+
+def make_ensemble(num_members: int = 3, with_zsl: bool = True,
+                  seed: int = 100) -> TagletEnsemble:
+    """A structurally faithful taglet ensemble (ModelTaglets + one ZSL-KG)."""
+    taglets = []
+    plain = num_members - (1 if with_zsl else 0)
+    for i in range(plain):
+        taglets.append(ModelTaglet(f"member_{i}",
+                                   make_model(seed + 10 * i)))
+    if with_zsl:
+        taglets.append(ZslKgTaglet("zsl_kg", make_model(seed + 10 * plain),
+                                   logit_scale=3.0))
+    return TagletEnsemble(taglets)
 
 
 @pytest.fixture()
@@ -54,12 +105,31 @@ def features() -> np.ndarray:
     return np.random.default_rng(7).normal(size=(64, SPEC.input_dim))
 
 
+@pytest.fixture()
+def ensemble() -> TagletEnsemble:
+    return make_ensemble()
+
+
+@pytest.fixture()
+def ensemble_dir(tmp_path, ensemble) -> str:
+    path = str(tmp_path / "ensemble-artifact")
+    export_ensemble(ensemble, path, class_names=CLASS_NAMES,
+                    metrics={"test_accuracy": 0.87})
+    return path
+
+
+@pytest.fixture()
+def servable_ensemble(ensemble_dir):
+    return load_servable(ensemble_dir)
+
+
 @pytest.fixture(scope="module")
 def trained_export(tmp_path_factory, tiny_workspace, tiny_backbone):
-    """One real pipeline run exported through the Controller hook.
+    """One real pipeline run exported through the Controller hooks.
 
     Returns ``(result, split, path)`` — the offline result, its task split,
-    and the exported artifact directory.
+    and the exported end-model artifact directory.  The taglet ensemble is
+    exported next to it, at ``path + "-ensemble"``.
     """
     split = tiny_workspace.make_task_split("fmd", shots=5, split_seed=0)
     task = Task.from_split(split, scads=tiny_workspace.scads,
@@ -68,7 +138,9 @@ def trained_export(tmp_path_factory, tiny_workspace, tiny_backbone):
                            images_per_related_class=8)
     path = str(tmp_path_factory.mktemp("served") / "fmd-endmodel")
     config = ControllerConfig(end_model=EndModelConfig(epochs=8),
-                              export_path=path, seed=0)
+                              export_path=path,
+                              export_ensemble_path=path + "-ensemble",
+                              seed=0)
     controller = Controller(modules=[MultiTaskModule(MultiTaskConfig(epochs=4))],
                             config=config)
     result = controller.run(task)

@@ -8,6 +8,8 @@ import pytest
 
 from repro.serve import BatchingConfig, MicroBatcher, input_digest
 
+from .conftest import GatedModel
+
 
 def square_rows(batch: np.ndarray) -> np.ndarray:
     """A stand-in 'model': rows are independent, like any batched forward."""
@@ -22,6 +24,8 @@ class TestConfig:
             BatchingConfig(max_latency_ms=-1)
         with pytest.raises(ValueError):
             BatchingConfig(cache_size=-1)
+        with pytest.raises(ValueError):
+            BatchingConfig(num_workers=0)
 
 
 class TestFanOutFanIn:
@@ -187,6 +191,133 @@ class TestErrorsAndLifecycle:
         assert np.array_equal(future.result(timeout=10), np.ones(3))
         with pytest.raises(RuntimeError, match="closed"):
             batcher.submit(np.ones(3))
+
+
+class TestRequestValidation:
+    """Regression: one malformed request must never poison its batch-mates.
+
+    Width and dtype are validated at ``submit`` (before the request can be
+    fused), so the bad request fails alone with ``ValueError`` and every
+    innocent request still resolves.
+    """
+
+    def test_wrong_width_fails_alone_while_batchmates_succeed(self):
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=16, max_latency_ms=50,
+                                cache_size=0, pad_to_max_batch=False)
+        rng = np.random.default_rng(11)
+        good = rng.normal(size=(6, 4))
+        with MicroBatcher(model, config, input_dim=4) as batcher:
+            # Park the worker inside a forward, then stage a batch of valid
+            # requests with one malformed request submitted among them.
+            plug = batcher.submit(np.ones(4))
+            assert model.entered.wait(timeout=10)
+            futures = [batcher.submit(row) for row in good[:3]]
+            with pytest.raises(ValueError, match="4"):
+                batcher.submit(np.ones(7))        # wrong feature width
+            futures += [batcher.submit(row) for row in good[3:]]
+            model.release.set()
+            plug.result(timeout=10)
+            results = np.stack([f.result(timeout=10) for f in futures])
+        # Every valid request resolved correctly; the bad one never reached
+        # a forward (every call the model saw was 4 wide).
+        assert np.array_equal(results, good)
+        assert all(call.shape[1] == 4 for call in model.calls)
+        assert batcher.stats()["rejected"] == 1
+
+    def test_wrong_ndim_and_empty_still_rejected(self):
+        with MicroBatcher(square_rows, input_dim=4) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit(np.ones((2, 2, 2)))
+            with pytest.raises(ValueError):
+                batcher.submit(np.ones((0, 4)))
+
+    def test_uncastable_dtype_rejected(self):
+        with MicroBatcher(square_rows, input_dim=3,
+                          dtype=np.float64) as batcher:
+            with pytest.raises(ValueError, match="dtype"):
+                batcher.submit(np.array(["a", "b", "c"]))
+        assert batcher.snapshot().rejected == 1
+
+    def test_mixed_dtypes_normalized_before_fusing(self):
+        """Regression: a float32 request fused with float64 ones used to
+        promote the whole batch; now every request is normalized to the
+        servable dtype at submit, so the fused forward always sees it."""
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=8, max_latency_ms=50,
+                                cache_size=0, pad_to_max_batch=False)
+        with MicroBatcher(model, config, input_dim=3,
+                          dtype=np.float64) as batcher:
+            plug = batcher.submit(np.ones(3))
+            assert model.entered.wait(timeout=10)
+            f32 = batcher.submit(np.ones(3, dtype=np.float32) * 2)
+            f64 = batcher.submit(np.ones(3) * 3)
+            model.release.set()
+            plug.result(timeout=10)
+            f32.result(timeout=10)
+            f64.result(timeout=10)
+        assert all(call.dtype == np.float64 for call in model.calls)
+
+    def test_identical_rows_share_one_cache_entry_across_dtypes(self):
+        """Regression: the cache digest was keyed on the *submitted* dtype,
+        so float32 vs float64 submissions of the same row got distinct
+        entries for bitwise-identical predictions."""
+        calls = []
+
+        def record(batch):
+            calls.append(len(batch))
+            return batch * batch
+
+        x64 = np.arange(4, dtype=np.float64)
+        with MicroBatcher(record, BatchingConfig(cache_size=8),
+                          dtype=np.float64) as batcher:
+            first = batcher.predict(x64, timeout=10)
+            second = batcher.predict(x64.astype(np.float32), timeout=10)
+            stats = batcher.stats()
+        assert np.array_equal(first, second)
+        assert stats["cache_hits"] == 1           # not a second miss
+        assert stats["cache_misses"] == 1
+        assert len(calls) == 1                    # one forward total
+
+
+class TestBatchOvershoot:
+    """Regression: a multi-row request must not push a batch past the max."""
+
+    def test_multi_row_requests_never_overflow_the_batch(self):
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=8, max_latency_ms=50,
+                                cache_size=0, pad_to_max_batch=False)
+        rng = np.random.default_rng(12)
+        blocks = [rng.normal(size=(3, 4)) for _ in range(3)]
+        with MicroBatcher(model, config) as batcher:
+            plug = batcher.submit(np.ones(4))
+            assert model.entered.wait(timeout=10)
+            futures = [batcher.submit(block) for block in blocks]
+            model.release.set()
+            plug.result(timeout=10)
+            for block, future in zip(blocks, futures):
+                assert np.array_equal(future.result(timeout=10), block)
+        # The three 3-row requests were queued together: 3+3 fused, the
+        # third carried into the next batch (3+3+3 would overshoot 8).
+        assert model.call_sizes == [1, 6, 3]
+        assert batcher.stats()["largest_batch"] <= 8
+
+    def test_single_oversized_request_still_served(self):
+        """One request larger than the quantum runs alone (chunked by
+        ``run_at_quantum`` when padding is on) — never silently dropped."""
+        calls = []
+
+        def record(batch):
+            calls.append(len(batch))
+            return batch.copy()
+
+        config = BatchingConfig(max_batch_size=4, max_latency_ms=5,
+                                cache_size=0)
+        block = np.random.default_rng(13).normal(size=(11, 3))
+        with MicroBatcher(record, config) as batcher:
+            result = batcher.predict(block, timeout=10)
+        assert np.array_equal(result, block)
+        assert set(calls) == {4}                  # chunked at the quantum
 
 
 class TestCache:

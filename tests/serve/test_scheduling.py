@@ -1,0 +1,177 @@
+"""Tests for traffic shaping: priorities, deadlines, multi-worker batchers."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingConfig, DeadlineExceeded, MicroBatcher
+from repro.serve.batching import run_at_quantum
+
+from .conftest import GatedModel
+
+
+class TestPriorities:
+    def _drain_order(self, submissions):
+        """Submit ``(row_value, priority)`` pairs while the worker is parked
+        in a forward; return the order the model then served them in."""
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=1, max_latency_ms=0,
+                                cache_size=0)
+        with MicroBatcher(model, config) as batcher:
+            plug = batcher.submit(np.zeros(2))
+            assert model.entered.wait(timeout=10)
+            futures = [batcher.submit(np.full(2, float(value)),
+                                      priority=priority)
+                       for value, priority in submissions]
+            model.release.set()
+            plug.result(timeout=10)
+            for future in futures:
+                future.result(timeout=10)
+        return [int(call[0, 0]) for call in model.calls[1:]]
+
+    def test_higher_priority_drains_first(self):
+        order = self._drain_order([(1, 0), (2, 5), (3, 1)])
+        assert order == [2, 3, 1]
+
+    def test_fifo_within_a_priority_level(self):
+        order = self._drain_order([(1, 0), (2, 0), (3, 0)])
+        assert order == [1, 2, 3]
+
+    def test_default_priority_preserves_arrival_order(self):
+        order = self._drain_order([(i, 0) for i in range(1, 6)])
+        assert order == [1, 2, 3, 4, 5]
+
+
+class TestDeadlines:
+    def test_expired_request_fails_fast_and_skips_the_forward(self):
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=8, max_latency_ms=5,
+                                cache_size=0, pad_to_max_batch=False)
+        with MicroBatcher(model, config) as batcher:
+            plug = batcher.submit(np.zeros(3))
+            assert model.entered.wait(timeout=10)
+            doomed = batcher.submit(np.full(3, 7.0), deadline_ms=30)
+            survivor = batcher.submit(np.full(3, 9.0), deadline_ms=60_000)
+            time.sleep(0.08)                     # let the deadline pass
+            model.release.set()
+            plug.result(timeout=10)
+            with pytest.raises(DeadlineExceeded, match="deadline"):
+                doomed.result(timeout=10)
+            # The batch-mate with a live deadline is served normally.
+            assert np.array_equal(survivor.result(timeout=10), np.full(3, 9.0))
+        # The expired rows never occupied a forward.
+        assert not any((call == 7.0).all() for call in model.calls)
+        stats = batcher.stats()
+        assert stats["expired"] == 1
+        assert stats["requests"] == 3
+
+    def test_already_expired_deadline_fails_at_submit(self):
+        with MicroBatcher(lambda b: b.copy(),
+                          BatchingConfig(cache_size=0)) as batcher:
+            future = batcher.submit(np.ones(2), deadline_ms=-5)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=10)
+
+    def test_generous_deadline_is_met(self):
+        with MicroBatcher(lambda b: b * 2,
+                          BatchingConfig(cache_size=0)) as batcher:
+            result = batcher.predict(np.ones(3), timeout=10,
+                                     deadline_ms=60_000)
+        assert np.array_equal(result, np.full(3, 2.0))
+
+
+class TestMultiWorker:
+    def test_results_bit_identical_to_quantized_offline(self):
+        """Bit-determinism survives concurrent workers: every forward runs
+        at the fixed quantum, and a row's result is a pure function of
+        (row, weights, batch row count) — not of which worker ran it."""
+        rng = np.random.default_rng(21)
+        weights = rng.normal(size=(6, 4))
+
+        def forward(batch):
+            return batch @ weights
+
+        inputs = rng.normal(size=(200, 6))
+        reference = run_at_quantum(forward, inputs, 8)
+        config = BatchingConfig(max_batch_size=8, max_latency_ms=2,
+                                cache_size=0, num_workers=3)
+        results = np.zeros((200, 4))
+        errors = []
+        with MicroBatcher(forward, config) as batcher:
+
+            def client(indices):
+                try:
+                    for i in indices:
+                        results[i] = batcher.predict(inputs[i], timeout=30)
+                except Exception as error:  # pragma: no cover - reporting
+                    errors.append(error)
+
+            threads = [threading.Thread(target=client,
+                                        args=(range(k, 200, 4),))
+                       for k in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert np.array_equal(results, reference)
+
+    def test_workers_overlap_forwards(self):
+        """Two workers must genuinely run two forwards at the same time
+        (forwards sleep, releasing the GIL like a BLAS call does)."""
+        lock = threading.Lock()
+        state = {"active": 0, "max_active": 0}
+
+        def slow(batch):
+            with lock:
+                state["active"] += 1
+                state["max_active"] = max(state["max_active"],
+                                          state["active"])
+            time.sleep(0.05)
+            with lock:
+                state["active"] -= 1
+            return batch.copy()
+
+        config = BatchingConfig(max_batch_size=1, max_latency_ms=0,
+                                cache_size=0, num_workers=2)
+        with MicroBatcher(slow, config) as batcher:
+            futures = [batcher.submit(np.ones(2)) for _ in range(6)]
+            for future in futures:
+                future.result(timeout=30)
+        assert state["max_active"] == 2
+
+    def test_per_worker_stats_roll_up(self):
+        config = BatchingConfig(max_batch_size=4, max_latency_ms=1,
+                                cache_size=0, num_workers=2)
+        with MicroBatcher(lambda b: b.copy(), config) as batcher:
+            futures = [batcher.submit(np.ones(2)) for _ in range(40)]
+            for future in futures:
+                future.result(timeout=30)
+            stats = batcher.stats()
+        assert stats["num_workers"] == 2
+        assert stats["requests"] == 40
+        per_worker = stats["per_worker"]
+        assert len(per_worker) == 2
+        assert sum(w["batches"] for w in per_worker) == stats["batches"]
+        assert sum(w["batched_examples"] for w in per_worker) == 40
+
+    def test_close_answers_everything_with_multiple_workers(self):
+        for _ in range(5):
+            batcher = MicroBatcher(lambda b: b.copy(),
+                                   BatchingConfig(max_latency_ms=0,
+                                                  cache_size=0,
+                                                  num_workers=3))
+            futures = [batcher.submit(np.ones(2)) for _ in range(30)]
+            batcher.close()
+            for future in futures:
+                assert np.array_equal(future.result(timeout=10), np.ones(2))
+
+    def test_single_worker_stats_have_no_per_worker_breakdown(self):
+        with MicroBatcher(lambda b: b.copy(),
+                          BatchingConfig(cache_size=0)) as batcher:
+            batcher.predict(np.ones(2), timeout=10)
+            stats = batcher.stats()
+        assert stats["num_workers"] == 1
+        assert "per_worker" not in stats

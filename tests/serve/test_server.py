@@ -67,9 +67,74 @@ class TestServerApi:
         server.predict(features[:2])
         stats = server.stats()
         assert stats["default@1"]["requests"] >= 1
+        assert stats["default@1"]["num_workers"] == 1
         description = server.describe()
         assert json.dumps(description)
         assert description["batching"]["max_batch_size"] == 16
+        assert description["batching"]["num_workers"] == 1
+
+    def test_stats_survive_a_hot_swap(self, server, artifact_dir, tmp_path,
+                                      features):
+        """Regression: re-registering a version with different weights used
+        to silently drop the retired batcher's counters."""
+        from .conftest import CLASS_NAMES, make_end_model
+        from repro.serve import export_end_model, load_servable
+
+        server.predict(features[:2])
+        server.predict(features[:1])
+        before = server.stats()["default@1"]
+        assert before["requests"] == 2
+
+        # Re-publish version 1 with different weights (unregister+register).
+        other = str(tmp_path / "republished")
+        export_end_model(make_end_model(seed=9), other,
+                         class_names=CLASS_NAMES)
+        server.registry.unregister("default", "1")
+        server.register("default", load_servable(other), version="1")
+        server.predict(features[:3])
+
+        after = server.stats()["default@1"]
+        assert after["requests"] == 3            # 2 retired + 1 live
+        assert after["examples"] == before["examples"] + 3
+
+    def test_wrong_feature_width_fails_alone(self, server, servable,
+                                             features):
+        """Regression: a malformed request used to poison every batch-mate
+        fused with it; now it fails alone at submit."""
+        import threading
+
+        offline = servable.predict_proba(features, batch_size=16)
+        results = [None] * len(features)
+        errors = []
+
+        def client(i):
+            try:
+                results[i] = server.submit(features[i]).result(timeout=30)
+            except Exception as error:  # pragma: no cover - reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(features))]
+        for thread in threads:
+            thread.start()
+        # A malformed request lands while valid traffic is in flight...
+        with pytest.raises(ValueError, match="features per row"):
+            server.predict(np.ones(99))
+        for thread in threads:
+            thread.join(timeout=60)
+        # ...and every valid request still resolved, bit-identically.
+        assert not errors
+        assert np.array_equal(np.stack(results), offline)
+        assert server.stats()["default@1"]["rejected"] == 1
+
+    def test_priority_and_deadline_are_plumbed(self, server, features):
+        from repro.serve import DeadlineExceeded
+
+        response = server.predict(features[:1], priority=5,
+                                  deadline_ms=60_000)
+        assert len(response["predictions"]) == 1
+        with pytest.raises(DeadlineExceeded):
+            server.predict(features[:1], deadline_ms=-1)
 
     def test_closed_server_rejects_requests(self, artifact_dir, features):
         app = Server()
@@ -95,14 +160,23 @@ class TestHttpEndpoint:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return json.loads(response.read())
 
-    def test_health_models_stats(self, endpoint):
+    def test_health_models_stats(self, endpoint, features):
         with urllib.request.urlopen(f"{endpoint}/healthz", timeout=10) as r:
             assert json.loads(r.read()) == {"status": "ok"}
         with urllib.request.urlopen(f"{endpoint}/models", timeout=10) as r:
             models = json.loads(r.read())
         assert models["default"]["latest"] == "1"
+        # Regression: /stats returns the documented per-model batcher
+        # counters (it used to leak the whole describe() payload).
+        self._post(endpoint, {"inputs": features[:2].tolist()})
         with urllib.request.urlopen(f"{endpoint}/stats", timeout=10) as r:
-            assert "batching" in json.loads(r.read())
+            stats = json.loads(r.read())
+        assert stats["default@1"]["requests"] >= 1
+        assert "batching" not in stats
+        # The full payload moved to /describe.
+        with urllib.request.urlopen(f"{endpoint}/describe", timeout=10) as r:
+            description = json.loads(r.read())
+        assert "batching" in description and "stats" in description
 
     def test_predict_round_trip(self, endpoint, servable, features):
         response = self._post(endpoint, {"inputs": features[:4].tolist(),
@@ -142,12 +216,36 @@ class TestHttpEndpoint:
         ({}, "missing 'inputs'"),
         ({"inputs": "not numbers"}, "numeric"),
         ({"inputs": []}, "non-empty"),
+        ({"inputs": [1.0, 2.0]}, "features per row"),
+        ({"inputs": [[1.0] * 24], "priority": "urgent"}, "priority"),
+        ({"inputs": [[1.0] * 24], "deadline_ms": "soon"}, "deadline_ms"),
     ])
     def test_bad_requests_are_400(self, endpoint, payload, fragment):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._post(endpoint, payload)
         assert excinfo.value.code == 400
         assert fragment in json.loads(excinfo.value.read())["error"]
+
+    def test_expired_deadline_is_504(self, endpoint, features):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(endpoint, {"inputs": features[:1].tolist(),
+                                  "deadline_ms": -1})
+        assert excinfo.value.code == 504
+        assert "deadline" in json.loads(excinfo.value.read())["error"]
+
+    def test_priority_and_deadline_accepted(self, endpoint, servable,
+                                            features):
+        response = self._post(endpoint, {"inputs": features[:2].tolist(),
+                                         "priority": 7,
+                                         "deadline_ms": 60000})
+        assert response["predictions"] == servable.predict(
+            features[:2]).tolist()
+        # null means "unset" for both optional fields, symmetrically.
+        response = self._post(endpoint, {"inputs": features[:2].tolist(),
+                                         "priority": None,
+                                         "deadline_ms": None})
+        assert response["predictions"] == servable.predict(
+            features[:2]).tolist()
 
     def test_unknown_model_is_404(self, endpoint, features):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
