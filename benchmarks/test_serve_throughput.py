@@ -13,10 +13,14 @@ plus the LRU prediction-cache hot path, a served 3-member taglet
 member forwards), and the same end-model workload drained by
 ``num_workers=2`` (forwards release the GIL, so the ratio vs one worker is
 the machine's parallel headroom — expect ~1× on the 1-CPU reference
-container, >1 on multi-core hosts).  Acceptance: batched throughput ≥ 3×
-unbatched at batch 32, and served probabilities bit-identical to the
-offline ``EndModel.predict_proba`` / ``TagletEnsemble`` voting on the same
-inputs at the serving quantum.
+container, >1 on multi-core hosts), and the **multi-process fleet** rows:
+the same artifact behind the routing front end, 1 vs 2 worker processes
+driven over real HTTP (``fleet_http_*``).  Acceptance: batched throughput
+≥ 3× unbatched at batch 32; fleet-of-2 ≥ 1.8× fleet-of-1 on multi-core
+hosts (informational on 1-CPU, where the ratio is recorded alongside
+``fleet_cpus``); and served probabilities bit-identical to the offline
+``EndModel.predict_proba`` / ``TagletEnsemble`` voting on the same inputs
+at the serving quantum.
 
 Run with ``pytest benchmarks/test_serve_throughput.py`` (the ``bench``
 marker keeps it out of tier-1).
@@ -36,8 +40,9 @@ from repro.backbones.backbone import BackboneSpec, ClassificationModel, Encoder
 from repro.distill import EndModel
 from repro.ensemble import TagletEnsemble
 from repro.modules.base import ModelTaglet
-from repro.serve import (BatchingConfig, Server, export_end_model,
-                         export_ensemble, load_servable)
+from repro.serve import (BatchingConfig, FleetConfig, RouterConfig, Server,
+                         ServingFleet, export_end_model, export_ensemble,
+                         load_servable, replicated_specs)
 from repro.serve.batching import run_at_quantum
 
 BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -53,6 +58,10 @@ NUM_CLASSES = 10
 NUM_REQUESTS = 2048
 NUM_CLIENTS = 8
 REPEATS = 3
+#: the multi-process rows go through real HTTP (serialize + socket + route),
+#: so they use a smaller request count than the in-process rows
+FLEET_REQUESTS = 512
+FLEET_REPEATS = 2
 
 
 NUM_MEMBERS = 3
@@ -144,6 +153,52 @@ def _drive(artifact: str, config: BatchingConfig, inputs: np.ndarray,
     }
 
 
+def _drive_fleet(artifact: str, replicas: int, inputs: np.ndarray) -> dict:
+    """Serve ``inputs`` through a fleet of worker *processes* via the router.
+
+    Unlike :func:`_drive` (in-process futures), every request here crosses a
+    real process boundary — JSON serialization, a socket hop, routing — so
+    the single-replica fleet row is the honest HTTP baseline and the
+    replicas-vs-1 ratio isolates what process-level parallelism buys.
+    """
+    specs = replicated_specs([("bench", artifact)], replicas)
+    config = FleetConfig(
+        batching=BatchingConfig(max_batch_size=32, max_latency_ms=2,
+                                cache_size=0),
+        router=RouterConfig(health_interval=0.5))
+    latencies = np.zeros(len(inputs))
+    errors: list = []
+    with ServingFleet(specs, config) as fleet:
+
+        def client(indices):
+            try:
+                for i in indices:
+                    begin = time.perf_counter()
+                    fleet.router.predict(inputs[i], model="bench")
+                    latencies[i] = time.perf_counter() - begin
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=client,
+                                    args=(range(k, len(inputs), NUM_CLIENTS),))
+                   for k in range(NUM_CLIENTS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    assert not errors, errors
+    return {
+        "replicas": replicas,
+        "requests": len(inputs),
+        "clients": NUM_CLIENTS,
+        "throughput_req_per_sec": round(len(inputs) / elapsed, 1),
+        "latency_p50_ms": round(float(np.percentile(latencies, 50)) * 1000, 3),
+        "latency_p99_ms": round(float(np.percentile(latencies, 99)) * 1000, 3),
+    }
+
+
 def test_serve_throughput(tmp_path):
     artifact = _make_artifact(tmp_path)
     servable = load_servable(artifact)
@@ -221,6 +276,24 @@ def test_serve_throughput(tmp_path):
                            artifact=ensemble_path)
     ensemble_row["members"] = NUM_MEMBERS
 
+    # Multi-process fleet rows: the same artifact behind the routing front
+    # end, 1 worker process vs 2, driven over real HTTP.  The 2-vs-1 ratio
+    # is what process-level scaling buys past the GIL: >= 1.8x expected on
+    # multi-core hosts, ~1x (informational) on the 1-CPU reference
+    # container where two processes share one core.
+    cpus = len(os.sched_getaffinity(0))
+    fleet_inputs = inputs[:FLEET_REQUESTS]
+
+    def best_fleet(replicas: int) -> dict:
+        runs = [_drive_fleet(artifact, replicas, fleet_inputs)
+                for _ in range(FLEET_REPEATS)]
+        return max(runs, key=lambda run: run["throughput_req_per_sec"])
+
+    fleet1 = best_fleet(1)
+    fleet2 = best_fleet(2)
+    fleet_ratio = (fleet2["throughput_req_per_sec"]
+                   / fleet1["throughput_req_per_sec"])
+
     speedup = (batched["throughput_req_per_sec"]
                / unbatched["throughput_req_per_sec"])
     compiled_gain = (unbatched_compiled["throughput_req_per_sec"]
@@ -242,6 +315,10 @@ def test_serve_throughput(tmp_path):
         "workers2_vs_1_throughput": round(workers_ratio, 2),
         "ensemble_batch32": ensemble_row,
         "batched_vs_unbatched_throughput": round(speedup, 2),
+        "fleet_http_1_process": fleet1,
+        "fleet_http_2_processes": fleet2,
+        "fleet2_vs_1_throughput": round(fleet_ratio, 2),
+        "fleet_cpus": cpus,
         "served_bit_identical_to_offline": True,
         "ensemble_bit_identical_to_offline_voting": True,
     }
@@ -253,10 +330,20 @@ def test_serve_throughput(tmp_path):
           f"cache-hot {hot['throughput_req_per_sec']}/s, "
           f"2 workers {workers2['throughput_req_per_sec']}/s "
           f"({workers_ratio:.2f}x vs 1), ensemble "
-          f"{ensemble_row['throughput_req_per_sec']}/s")
+          f"{ensemble_row['throughput_req_per_sec']}/s, fleet-over-HTTP "
+          f"{fleet1['throughput_req_per_sec']}/s -> "
+          f"{fleet2['throughput_req_per_sec']}/s "
+          f"({fleet_ratio:.2f}x, {cpus} CPU(s))")
     assert speedup >= 3.0, (
         f"micro-batching must be >=3x unbatched throughput, got {speedup:.2f}x")
     assert compiled_gain >= 1.0, (
         f"compiled forwards must not serve slower than the module path, "
         f"got {compiled_gain:.2f}x")
     assert hot["cache_hits"] > 0
+    if cpus > 1:
+        # The tentpole bar — only meaningful where two worker processes can
+        # actually run in parallel; on a 1-CPU host the ratio is recorded
+        # as informational (two processes time-slicing one core).
+        assert fleet_ratio >= 1.8, (
+            f"a 2-process fleet must be >=1.8x a 1-process fleet on a "
+            f"multi-core host ({cpus} CPUs), got {fleet_ratio:.2f}x")

@@ -9,7 +9,12 @@ The full deployment lifecycle of the reproduction:
    micro-batching engine (two workers) and start the JSON/HTTP endpoint,
 4. fire concurrent requests at both models — the ensemble ones carrying a
    priority and a deadline — and verify the served predictions agree with
-   offline inference (end model) and offline taglet voting (ensemble).
+   offline inference (end model) and offline taglet voting (ensemble),
+5. stand the same artifact up again as a 2-process **fleet**
+   (:class:`~repro.serve.ServingFleet`: worker processes behind the
+   routing front end), kill one worker mid-traffic, and verify that no
+   request fails, predictions stay bit-identical, and the replica
+   respawns — the scale-out path on the unchanged client API.
 
 Run with::
 
@@ -147,6 +152,46 @@ def main() -> None:
 
     httpd.shutdown()
     server.close()
+
+    # ---- 5. scale out: the same artifact as a 2-process fleet ------------
+    from repro.serve import FleetConfig, ServingFleet, replicated_specs
+
+    print("\nSpawning a 2-process fleet over the same artifact...")
+    specs = replicated_specs([("fmd", artifact_dir)], 2)
+    fleet_config = FleetConfig(batching=BatchingConfig(max_batch_size=32,
+                                                       max_latency_ms=5))
+    with ServingFleet(specs, fleet_config) as fleet:
+        victim = fleet.replica_ids()[0]
+        fleet_errors: list = []
+        fleet_served: list = [None] * len(test_x)
+
+        def fleet_client(indices) -> None:
+            for i in indices:
+                try:
+                    response = fleet.router.predict(test_x[i], model="fmd")
+                    fleet_served[i] = response["predictions"][0]
+                except Exception as error:  # pragma: no cover - smoke path
+                    fleet_errors.append((i, error))
+                if i == 8:      # chaos: kill a worker while traffic flows
+                    fleet.kill_replica(victim)
+
+        fleet_threads = [threading.Thread(target=fleet_client,
+                                          args=(range(k, len(test_x), 4),))
+                         for k in range(4)]
+        for thread in fleet_threads:
+            thread.start()
+        for thread in fleet_threads:
+            thread.join()
+        assert not fleet_errors, f"fleet requests failed: {fleet_errors[:3]}"
+        assert np.array_equal(np.array(fleet_served), offline), \
+            "fleet served != offline predictions"
+        respawned = fleet.router.wait_healthy(2, timeout=30)
+        assert respawned, "killed replica did not respawn healthy"
+        print(f"  served {len(test_x)} requests across 2 worker processes, "
+              f"killed {victim} mid-traffic:")
+        print(f"  zero failed requests, predictions identical to offline, "
+              f"replica respawned on its original port")
+
     print(f"\nDone in {time.time() - start:.1f}s.")
 
 

@@ -24,9 +24,12 @@ from .artifact import (ArtifactError, SCHEMA_VERSION, Servable,
                        ServableEnsemble, ServableModel, export_end_model,
                        export_ensemble, load_servable, read_manifest)
 from .batching import (BatcherStats, BatchingConfig, DeadlineExceeded,
-                       MicroBatcher, input_digest)
+                       MicroBatcher, ShuttingDown, input_digest)
+from .fleet import (FleetConfig, ReplicaSpec, ServingFleet, replicated_specs,
+                    sharded_specs)
 from .http import make_http_server, start_http_server
 from .registry import ModelNotFound, ModelRegistry, parse_reference
+from .router import NoHealthyReplica, Router, RouterConfig
 from .server import Server
 
 __all__ = [
@@ -34,7 +37,10 @@ __all__ = [
     "ServableEnsemble", "export_end_model", "export_ensemble",
     "load_servable", "read_manifest",
     "BatchingConfig", "BatcherStats", "DeadlineExceeded", "MicroBatcher",
-    "input_digest",
+    "ShuttingDown", "input_digest",
     "ModelRegistry", "ModelNotFound", "parse_reference",
     "Server", "make_http_server", "start_http_server",
+    "Router", "RouterConfig", "NoHealthyReplica",
+    "ServingFleet", "FleetConfig", "ReplicaSpec", "replicated_specs",
+    "sharded_specs",
 ]

@@ -5,6 +5,14 @@ Serve one or more exported end-model artifacts::
     python -m repro.serve artifacts/fmd
     python -m repro.serve --model fmd=artifacts/fmd --model demo=artifacts/demo \\
         --port 8080 --max-batch-size 64 --max-latency-ms 5
+    python -m repro.serve artifacts/fmd --fleet 4        # 4 worker processes
+    python -m repro.serve --model a=... --model b=... --fleet 2 --shard
+
+With ``--fleet N`` the models are served by N **worker processes** behind a
+routing front end (health checks, retry-on-death, respawn) instead of one
+in-process server — same port, same client API, but throughput scales past
+the GIL on multi-core hosts.  ``--shard`` partitions the models across the
+fleet instead of replicating all of them on every worker.
 
 With ``--demo``, a small synthetic workspace is built, the TAGLETS pipeline
 is trained end to end, the end model *and* the taglet ensemble are exported
@@ -21,6 +29,7 @@ from typing import List, Tuple
 
 from .artifact import export_end_model, export_ensemble
 from .batching import BatchingConfig
+from .fleet import FleetConfig, ServingFleet, replicated_specs, sharded_specs
 from .http import make_http_server
 from .server import Server
 
@@ -109,6 +118,19 @@ def main(argv=None) -> int:
                         help="worker threads per model draining the batch "
                              "queue (forwards release the GIL; >1 overlaps "
                              "forwards on multi-core hosts)")
+    parser.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="serve with N worker processes behind a routing "
+                             "front end (health checks, retry, respawn) "
+                             "instead of one in-process server; 0 (default) "
+                             "keeps the single-process path")
+    parser.add_argument("--shard", action="store_true",
+                        help="with --fleet: partition the models across the "
+                             "workers instead of replicating every model on "
+                             "every worker")
+    parser.add_argument("--start-method", default="spawn",
+                        choices=["spawn", "fork", "forkserver"],
+                        help="multiprocessing start method for --fleet "
+                             "workers (default: spawn)")
     parser.add_argument("--demo", action="store_true",
                         help="train a small synthetic pipeline and serve it "
                              "(both the end model and the taglet ensemble)")
@@ -118,24 +140,41 @@ def main(argv=None) -> int:
                               max_latency_ms=args.max_latency_ms,
                               cache_size=args.cache_size,
                               num_workers=args.num_workers)
-    server = Server(batching=batching)
 
-    demo_dir = None
+    models = _parse_models(args)
     if args.demo:
         demo_dir = tempfile.mkdtemp(prefix="repro-serve-demo-")
         end_path, ensemble_path = _train_demo_artifact(demo_dir)
-        server.load("default", end_path)
-        server.load("ensemble", ensemble_path)
-    models = _parse_models(args)
-    if not models and not args.demo:
+        models = [("default", end_path), ("ensemble", ensemble_path)] + models
+    if not models:
         parser.error("nothing to serve: pass artifact paths, --model, or --demo")
-    for name, path in models:
-        version = server.load(name, path)
-        print(f"loaded {name}@{version} from {path}", flush=True)
 
-    httpd = make_http_server(server, host=args.host, port=args.port)
+    if args.fleet > 0:
+        specs = (sharded_specs(models, args.fleet) if args.shard
+                 else replicated_specs(models, args.fleet))
+        fleet = ServingFleet(specs, FleetConfig(
+            batching=batching, start_method=args.start_method))
+        print(f"spawning {args.fleet} serving worker process(es) "
+              f"({'sharded' if args.shard else 'replicated'}, "
+              f"{args.start_method})...", flush=True)
+        fleet.start()
+        for replica_id, (host, port) in sorted(fleet.addresses().items()):
+            served = sorted(fleet.router.replica(replica_id).versions)
+            print(f"  {replica_id} on {host}:{port} serving {served}",
+                  flush=True)
+        app = fleet.router
+    else:
+        fleet = None
+        server = Server(batching=batching)
+        for name, path in models:
+            version = server.load(name, path)
+            print(f"loaded {name}@{version} from {path}", flush=True)
+        app = server
+
+    httpd = make_http_server(app, host=args.host, port=args.port)
     host, port = httpd.server_address[:2]
-    print(f"serving {len(server.registry)} model(s) on http://{host}:{port} "
+    count = len(models)
+    print(f"serving {count} model(s) on http://{host}:{port} "
           f"(POST /predict, GET /models, /stats, /healthz)", flush=True)
     try:
         httpd.serve_forever()
@@ -143,7 +182,10 @@ def main(argv=None) -> int:
         print("shutting down...", flush=True)
     finally:
         httpd.shutdown()
-        server.close()
+        if fleet is not None:
+            fleet.close()
+        else:
+            server.close()
     return 0
 
 

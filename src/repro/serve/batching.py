@@ -43,11 +43,23 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 __all__ = ["BatchingConfig", "BatcherStats", "DeadlineExceeded",
-           "MicroBatcher", "input_digest", "run_at_quantum"]
+           "MicroBatcher", "ShuttingDown", "input_digest", "run_at_quantum"]
 
 
 class DeadlineExceeded(RuntimeError):
     """A request's deadline passed before a worker could serve it."""
+
+
+class ShuttingDown(RuntimeError):
+    """The batcher (or server) is stopping and cannot answer this request.
+
+    Raised synchronously by ``submit`` on a closed batcher, and set on the
+    futures of queued requests that a non-draining shutdown (or a drain
+    that ran out of time) will never serve — clients fail fast instead of
+    hanging on a future nobody will ever resolve.  A ``RuntimeError``
+    subclass, so callers that caught the old closed-batcher error keep
+    working.
+    """
 
 
 def run_at_quantum(fn, rows: np.ndarray, quantum: int) -> np.ndarray:
@@ -136,6 +148,9 @@ class BatcherStats:
     rejected: int = 0
     #: requests whose deadline passed before a forward could serve them
     expired: int = 0
+    #: queued requests failed fast with :class:`ShuttingDown` because the
+    #: batcher stopped before a worker could serve them
+    shed: int = 0
 
     def add(self, other: "BatcherStats") -> "BatcherStats":
         """Accumulate ``other`` into this instance (counters sum,
@@ -161,7 +176,8 @@ class BatcherStats:
                 "cache_misses": self.cache_misses,
                 "largest_batch": self.largest_batch,
                 "mean_batch_size": round(mean, 2),
-                "rejected": self.rejected, "expired": self.expired}
+                "rejected": self.rejected, "expired": self.expired,
+                "shed": self.shed}
 
 
 def input_digest(features: np.ndarray, salt: str = "") -> str:
@@ -302,9 +318,25 @@ class _RequestQueue:
                 self._not_full.notify()
             return item
 
+    def drain_pending(self) -> List["_Request"]:
+        """Atomically remove and return every queued *request*.
+
+        The shutdown sentinel (if queued) stays put so workers still wake
+        up and exit.  Used by a non-draining ``close`` to fail pending
+        futures fast instead of leaving clients hanging.
+        """
+        with self._lock:
+            requests = [item for _, item in self._heap if item is not _SHUTDOWN]
+            self._heap = [(key, item) for key, item in self._heap
+                          if item is _SHUTDOWN]
+            heapq.heapify(self._heap)
+            if self._maxsize > 0:
+                self._not_full.notify_all()
+            return requests
+
     def __len__(self) -> int:
         with self._lock:
-            return len(self._heap)
+            return sum(1 for _, item in self._heap if item is not _SHUTDOWN)
 
 
 class MicroBatcher:
@@ -395,7 +427,7 @@ class MicroBatcher:
         rows in a forward.
         """
         if self._closed:
-            raise RuntimeError("MicroBatcher is closed")
+            raise ShuttingDown("MicroBatcher is closed")
         try:
             array = self._validate(features)
         except ValueError:
@@ -432,7 +464,7 @@ class MicroBatcher:
                 self._stats.cache_misses += 1
         with self._submit_lock:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise ShuttingDown("MicroBatcher is closed")
             self._queue.put(request)
         return request.future
 
@@ -476,12 +508,25 @@ class MicroBatcher:
             result["per_worker"] = breakdown
         return result
 
-    def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting work, serve everything already queued, then exit."""
+    def close(self, timeout: Optional[float] = 10.0,
+              drain: bool = True) -> None:
+        """Stop accepting work and shut the workers down.
+
+        With ``drain`` (the default) everything already queued is still
+        served before the workers exit.  With ``drain=False`` — a replica
+        being torn down, a server that must stop *now* — queued requests
+        fail fast with :class:`ShuttingDown` instead.  Either way, any
+        request still queued once the join ``timeout`` lapses (a worker
+        wedged inside a forward, say) is failed with :class:`ShuttingDown`
+        rather than left as a future nobody will ever resolve: a stopping
+        batcher never hangs its clients.
+        """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
+            if not drain:
+                self._shed(self._queue.drain_pending())
             # One sentinel is enough for N workers: it sorts after every
             # request, and each exiting worker re-enqueues it for the next.
             self._queue.put(_SHUTDOWN, force=True)
@@ -492,6 +537,26 @@ class MicroBatcher:
             remaining = (max(0.0, deadline - time.monotonic())
                          if deadline is not None else None)
             worker.join(timeout=remaining)
+        # Workers that did not exit in time will never serve what is left.
+        self._shed(self._queue.drain_pending())
+
+    def _shed(self, requests: List["_Request"]) -> None:
+        """Fail queued-but-never-served requests fast with ShuttingDown."""
+        if not requests:
+            return
+        with self._stats_lock:
+            self._stats.shed += len(requests)
+        for request in requests:
+            request.future.set_exception(ShuttingDown(
+                "batcher shut down before this request could be served"))
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the queue (health-check signal)."""
+        return len(self._queue)
+
+    def workers_alive(self) -> int:
+        """How many worker threads are currently running."""
+        return sum(1 for worker in self._workers if worker.is_alive())
 
     def is_draining(self) -> bool:
         """True while any worker thread is still running (e.g. answering

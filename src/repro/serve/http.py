@@ -7,7 +7,8 @@ forwards exactly like in-process callers.
 
 Routes::
 
-    GET  /healthz   -> {"status": "ok"}
+    GET  /healthz   -> {"status": "ok", "draining": false, "queue_depth": 0,
+                        "workers": {...}, "models": ["name@version", ...]}
     GET  /models    -> registry listing (manifest summaries per version)
     GET  /stats     -> per-model batcher counters
     GET  /describe  -> full server description (models + batching + stats)
@@ -15,24 +16,41 @@ Routes::
                         "return_probabilities": false,
                         "priority": 0, "deadline_ms": null}
 
+Fleet worker processes additionally expose an admin plane (opt-in via
+``make_http_server(..., admin=True)`` — never enabled on a public router
+port)::
+
+    POST /admin/load   -> {"name": ..., "path": ..., "version": null,
+                           "make_latest": true}   # hot-swap an artifact in
+    POST /admin/drain  -> {"draining": true}      # advisory drain flag
+
+The handler serves any app exposing the small ``predict`` / ``health`` /
+``models`` / ``stats`` / ``describe`` surface — the in-process
+:class:`~repro.serve.Server` and the fleet
+:class:`~repro.serve.router.Router` both do, which is what keeps the
+client API identical whether one process or a fleet answers.
+
 Error mapping: a malformed request (bad JSON, wrong feature width or
 dtype) is the client's fault and returns **400** — and, because requests
 are validated before they are fused, it fails alone without disturbing the
 valid requests batched alongside it.  A request whose ``deadline_ms``
-passes while it queues returns **504**.  Unknown models are **404**; only
-genuine serving failures return **500**.
+passes while it queues returns **504**.  Unknown models are **404**; a
+server that is shutting down answers **503** (retryable — a fleet router
+fails the request over to a healthy replica); only genuine serving
+failures return **500**.
 """
 
 from __future__ import annotations
 
 import json
+import socket as socket_module
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from .batching import DeadlineExceeded
+from .batching import DeadlineExceeded, ShuttingDown
 from .registry import ModelNotFound
 from .server import Server
 
@@ -45,9 +63,11 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 class _ServeHandler(BaseHTTPRequestHandler):
     """Dispatches HTTP requests to the attached :class:`Server`."""
 
-    server_version = "repro-serve/2.0"
-    #: the attached Server instance (set by :func:`make_http_server`)
+    server_version = "repro-serve/3.0"
+    #: the attached Server (or Router) instance (set by :func:`make_http_server`)
     serve_app: Server
+    #: whether the /admin/* control plane is exposed (fleet workers only)
+    admin_enabled: bool = False
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -72,9 +92,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
         app = type(self).serve_app
         if self.path == "/healthz":
-            self._send_json({"status": "ok"})
+            self._send_json(app.health())
         elif self.path == "/models":
-            self._send_json(app.registry.describe())
+            self._send_json(app.models())
         elif self.path == "/stats":
             self._send_json(app.stats())
         elif self.path == "/describe":
@@ -82,8 +102,67 @@ class _ServeHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
+    def _read_json_body(self) -> Optional[dict]:
+        """Parse the request body as JSON; answers the error itself (and
+        returns ``None``) when the body is missing or malformed."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_error_json(400, "invalid Content-Length")
+            return None
+        if length <= 0:
+            self._send_error_json(400, "request body required (JSON)")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{MAX_BODY_BYTES}-byte limit — split the batch")
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_error_json(400, f"invalid JSON body: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "JSON body must be an object")
+            return None
+        return payload
+
+    def _do_admin(self, payload: dict) -> None:
+        """The fleet control plane: hot-swap loads and drain flags."""
+        app = type(self).serve_app
+        if self.path == "/admin/load":
+            name = payload.get("name")
+            path = payload.get("path")
+            if not name or not path:
+                self._send_error_json(400, "'name' and 'path' are required")
+                return
+            try:
+                version = app.load(str(name), str(path),
+                                   version=payload.get("version"),
+                                   make_latest=bool(payload.get("make_latest",
+                                                                True)))
+            except Exception as error:
+                self._send_error_json(400, f"{type(error).__name__}: {error}")
+                return
+            self._send_json({"name": str(name), "version": version})
+        elif self.path == "/admin/drain":
+            app.set_draining(bool(payload.get("draining", True)))
+            self._send_json(app.health())
+        else:
+            self._send_error_json(404, f"unknown admin path {self.path!r}")
+
     def do_POST(self) -> None:  # noqa: N802 (stdlib API name)
         app = type(self).serve_app
+        if self.path.startswith("/admin/"):
+            if not type(self).admin_enabled:
+                self._send_error_json(
+                    404, "admin endpoints are not enabled on this server")
+                return
+            payload = self._read_json_body()
+            if payload is not None:
+                self._do_admin(payload)
+            return
         if self.path != "/predict":
             self._send_error_json(404, f"unknown path {self.path!r}")
             return
@@ -148,6 +227,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except DeadlineExceeded as error:
             self._send_error_json(504, str(error))
             return
+        except ShuttingDown as error:
+            # Retryable: the process is going away, the request was fine.
+            self._send_error_json(503, str(error))
+            return
         except ValueError as error:
             self._send_error_json(400, str(error))
             return
@@ -158,18 +241,35 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
 
 def make_http_server(app: Server, host: str = "127.0.0.1",
-                     port: int = 8080) -> ThreadingHTTPServer:
+                     port: int = 8080,
+                     sock: Optional[socket_module.socket] = None,
+                     admin: bool = False) -> ThreadingHTTPServer:
     """Build (but do not start) an HTTP server bound to ``app``.
 
     ``port=0`` binds an ephemeral port (tests); read it back from
-    ``httpd.server_address``.
+    ``httpd.server_address``.  With ``sock``, the server adopts an
+    already-bound, already-listening socket instead of binding its own —
+    the socket-activation handoff fleet worker processes use: the parent
+    binds the replica's port, keeps its copy, and passes a duplicate to
+    each (re)spawned worker, so the address survives worker death and
+    connections queued in the listen backlog are answered by the
+    replacement.  ``admin=True`` exposes the ``/admin/*`` control plane
+    (fleet workers only; never on a public router port).
     """
-    handler = type("BoundServeHandler", (_ServeHandler,), {"serve_app": app})
+    handler = type("BoundServeHandler", (_ServeHandler,),
+                   {"serve_app": app, "admin_enabled": admin})
     # The stdlib default listen backlog (5) drops connections under the
     # very request bursts micro-batching exists to absorb.
     server_cls = type("ServeHTTPServer", (ThreadingHTTPServer,),
                       {"request_queue_size": 128, "daemon_threads": True})
-    return server_cls((host, port), handler)
+    if sock is None:
+        return server_cls((host, port), handler)
+    httpd = server_cls(sock.getsockname()[:2], handler, bind_and_activate=False)
+    httpd.socket.close()    # drop the placeholder; adopt the inherited one
+    httpd.socket = sock
+    httpd.server_address = sock.getsockname()
+    httpd.server_activate()
+    return httpd
 
 
 def start_http_server(app: Server, host: str = "127.0.0.1",

@@ -149,6 +149,23 @@ class ModelRegistry:
         with self._lock:
             return sorted(self._models)
 
+    def manifest(self) -> List[str]:
+        """Every registered pair as ``name@version`` strings, latest first.
+
+        The flat shard manifest of this registry: what ``/healthz`` reports
+        and what a fleet router uses to route ``model@version`` references
+        to the replicas that can actually answer them.  The version the
+        ``latest`` pointer designates leads each name's group.
+        """
+        with self._lock:
+            entries: List[str] = []
+            for name in sorted(self._models):
+                latest = self._latest.get(name)
+                ordered = sorted(self._models[name],
+                                 key=lambda v: (v != latest, v))
+                entries.extend(f"{name}@{version}" for version in ordered)
+            return entries
+
     def describe(self) -> Dict[str, dict]:
         """A JSON-friendly listing of every registered servable."""
         with self._lock:

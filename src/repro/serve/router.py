@@ -1,0 +1,630 @@
+"""The fleet front end: route ``model@version`` traffic across replicas.
+
+A :class:`Router` owns a table of replica HTTP endpoints (worker processes
+spawned by :class:`~repro.serve.fleet.ServingFleet`, or any server speaking
+the ``repro.serve`` HTTP protocol) and presents the *same* client surface
+as an in-process :class:`~repro.serve.Server` — ``predict`` / ``health`` /
+``models`` / ``stats`` / ``describe`` — so the public HTTP endpoint is
+identical whether one process or a fleet answers, and
+:func:`~repro.serve.http.make_http_server` serves either.
+
+Routing semantics:
+
+* **Partitioning.** Each replica declares the model *names* it serves (its
+  shard manifest, refreshed from ``/healthz`` probes).  Replicas declaring
+  the same name are **replicas** of it (load-balanced); disjoint names are
+  **shards** (partitioning the ``model@version`` space across processes).
+* **Balancing.** Among the healthy, admitted owners of a name the router
+  picks the replica with the fewest outstanding requests, breaking ties
+  round-robin — least-loaded first, and fair under uniform load.
+* **Health.** A background monitor probes every replica's ``/healthz`` on
+  an interval; ``fail_threshold`` consecutive misses mark it down (and a
+  connection-level failure on the request path marks it down immediately —
+  death is detected at the first broken request, not the next probe).
+  Probes also refresh each replica's served-model manifest and queue
+  depth, so balancing decisions track reality.  Down replicas are
+  re-admitted by the first successful probe after they return.
+* **Retries.** A transport-level failure (replica died mid-request) is
+  retried on another replica with bounded exponential backoff.  Serving a
+  prediction is pure — same rows, same weights, same bits — so retrying is
+  always safe.  Deterministic *client* failures (400 bad request, 504
+  deadline) are never retried: they would fail identically anywhere.  A
+  404 is retried on the remaining owners (mid-swap, another replica may
+  already hold the requested version) and only surfaces once every owner
+  has answered 404.
+
+The failure/retry matrix (also in ``docs/serving.md``):
+
+====================  ==========================  =========================
+replica answered      meaning                     router action
+====================  ==========================  =========================
+connection error      process died / port gone    mark down, retry elsewhere
+200                   served                      return
+400 / 413             malformed request           raise — no retry anywhere
+404                   model/version not here      retry untried owners
+503                   replica shutting down       retry elsewhere
+504                   deadline expired in queue   raise — request is stale
+other 5xx             replica-local failure       retry elsewhere (bounded)
+====================  ==========================  =========================
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .batching import DeadlineExceeded, ShuttingDown
+from .registry import ModelNotFound, parse_reference
+
+__all__ = ["NoHealthyReplica", "ReplicaHandle", "Router", "RouterConfig"]
+
+
+class NoHealthyReplica(RuntimeError):
+    """Every routing attempt failed — no replica could answer the request."""
+
+
+@dataclass
+class RouterConfig:
+    """Knobs of the routing front end."""
+
+    #: seconds between health-probe sweeps of the replica table
+    health_interval: float = 0.5
+    #: consecutive probe failures before a replica is marked down
+    fail_threshold: int = 2
+    #: socket timeout of one health probe
+    probe_timeout: float = 2.0
+    #: socket timeout of one forwarded /predict call
+    request_timeout: float = 60.0
+    #: total routing attempts for one request (across replicas and backoffs)
+    max_attempts: int = 10
+    #: initial retry backoff; doubles per attempt up to the cap.  Bounded:
+    #: a request never waits longer than the cap between attempts, and
+    #: never retries more than ``max_attempts`` times.
+    retry_backoff_ms: float = 20.0
+    retry_backoff_cap_ms: float = 400.0
+    #: persistent connections kept per replica
+    pool_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+class _ConnectionPool:
+    """A small stack of persistent HTTP connections to one replica."""
+
+    def __init__(self, host: str, port: int, capacity: int):
+        self.host = host
+        self.port = port
+        self.capacity = capacity
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+
+    def acquire(self, timeout: float) -> http.client.HTTPConnection:
+        with self._lock:
+            if self._idle:
+                connection = self._idle.pop()
+                connection.timeout = timeout
+                return connection
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+
+    def release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.capacity:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+
+class ReplicaHandle:
+    """One replica endpoint plus the router's live view of it.
+
+    Mutable state (``healthy``, ``draining``, ``outstanding``, the served
+    model manifest) is guarded by the owning router's lock.
+    """
+
+    def __init__(self, replica_id: str, host: str, port: int,
+                 pool_size: int = 8,
+                 models: Optional[Iterable[str]] = None):
+        self.id = replica_id
+        self.host = host
+        self.port = port
+        self.pool = _ConnectionPool(host, port, pool_size)
+        #: model *names* this replica serves (its shard); ``None`` means
+        #: unknown-yet — the replica is a candidate for every name until a
+        #: health probe reports its manifest
+        self.names: Optional[Set[str]] = (
+            {parse_reference(m)[0] for m in models} if models is not None
+            else None)
+        #: full ``name@version`` strings from the last health probe
+        self.versions: Set[str] = set()
+        self.healthy = True
+        self.draining = False
+        self.outstanding = 0
+        self.queue_depth = 0
+        self.consecutive_failures = 0
+        # counters (monotonic; read by Router.stats())
+        self.served = 0
+        self.transport_failures = 0
+        self.respawns = 0
+
+    def serves(self, name: str) -> bool:
+        return self.names is None or name in self.names
+
+    def admitted(self) -> bool:
+        return self.healthy and not self.draining
+
+    def request(self, method: str, path: str, body: Optional[bytes] = None,
+                timeout: float = 60.0) -> Tuple[int, dict]:
+        """One HTTP exchange with this replica over a pooled connection.
+
+        Raises ``OSError`` (or an ``http.client`` protocol error) on any
+        transport-level failure — the signal the router retries on.
+        """
+        connection = self.pool.acquire(timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()   # must drain before the conn is reusable
+            status = response.status
+        except BaseException:
+            connection.close()
+            raise
+        self.pool.release(connection)
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace")}
+        return status, payload
+
+    def describe(self) -> dict:
+        return {"address": f"{self.host}:{self.port}",
+                "healthy": self.healthy, "draining": self.draining,
+                "outstanding": self.outstanding,
+                "queue_depth": self.queue_depth,
+                "models": sorted(self.versions),
+                "served": self.served,
+                "transport_failures": self.transport_failures,
+                "respawns": self.respawns}
+
+
+#: statuses that fail a request identically on every replica — never retried
+_NO_RETRY = {400, 413, 504}
+
+
+class Router:
+    """Load-balance ``model@version`` requests across replica endpoints.
+
+    Presents the same Python surface as :class:`~repro.serve.Server`
+    (``predict``/``health``/``models``/``stats``/``describe``), so the
+    stock HTTP handler serves a fleet unchanged.  See the module docstring
+    for routing, health, and retry semantics.
+    """
+
+    def __init__(self, config: Optional[RouterConfig] = None,
+                 on_replica_down: Optional[Callable[[str], None]] = None):
+        self.config = config or RouterConfig()
+        #: called (with the replica id) when a replica transitions to down —
+        #: the fleet hooks its respawn path here
+        self.on_replica_down = on_replica_down
+        self._replicas: Dict[str, ReplicaHandle] = {}
+        self._lock = threading.Lock()
+        self._rr: Dict[str, int] = {}
+        self._counters = {"requests": 0, "retries": 0, "failovers": 0}
+        self._monitor: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Replica table
+    # ------------------------------------------------------------------ #
+    def add_replica(self, replica_id: str, host: str, port: int,
+                    models: Optional[Iterable[str]] = None) -> ReplicaHandle:
+        """Register a replica endpoint (optionally with its shard manifest).
+
+        Without ``models`` the replica is a candidate for every model name
+        until its first health probe reports what it actually serves.
+        Re-adding an existing id (a respawn that moved ports) replaces the
+        handle but keeps its monotonic counters.
+        """
+        handle = ReplicaHandle(replica_id, host, port,
+                               pool_size=self.config.pool_size, models=models)
+        with self._lock:
+            previous = self._replicas.get(replica_id)
+            if previous is not None:
+                handle.served = previous.served
+                handle.transport_failures = previous.transport_failures
+                handle.respawns = previous.respawns
+                previous.pool.close()
+            self._replicas[replica_id] = handle
+        return handle
+
+    def remove_replica(self, replica_id: str) -> None:
+        with self._lock:
+            handle = self._replicas.pop(replica_id, None)
+        if handle is not None:
+            handle.pool.close()
+
+    def replica(self, replica_id: str) -> ReplicaHandle:
+        with self._lock:
+            return self._replicas[replica_id]
+
+    def replica_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._replicas)
+
+    def set_draining(self, replica_id: str, draining: bool) -> None:
+        """Stop (or resume) routing *new* requests to one replica.
+
+        In-flight requests finish where they are; ``outstanding_of`` tells
+        a rolling swap when the drained replica has gone quiet.
+        """
+        with self._lock:
+            self._replicas[replica_id].draining = bool(draining)
+
+    def set_healthy(self, replica_id: str, healthy: bool) -> None:
+        with self._lock:
+            handle = self._replicas[replica_id]
+            handle.healthy = bool(healthy)
+            if healthy:
+                handle.consecutive_failures = 0
+
+    def note_respawn(self, replica_id: str) -> None:
+        with self._lock:
+            self._replicas[replica_id].respawns += 1
+
+    def outstanding_of(self, replica_id: str) -> int:
+        with self._lock:
+            return self._replicas[replica_id].outstanding
+
+    # ------------------------------------------------------------------ #
+    # Balancing and the request path
+    # ------------------------------------------------------------------ #
+    def _pick(self, name: str,
+              exclude: Set[str]) -> Optional[ReplicaHandle]:
+        """Least-outstanding admitted owner of ``name``; round-robin ties."""
+        with self._lock:
+            owners = [handle for handle in self._replicas.values()
+                      if handle.admitted() and handle.serves(name)
+                      and handle.id not in exclude]
+            if not owners:
+                return None
+            least = min(handle.outstanding for handle in owners)
+            ties = [handle for handle in owners
+                    if handle.outstanding == least]
+            ties.sort(key=lambda handle: handle.id)
+            self._rr[name] = self._rr.get(name, -1) + 1
+            choice = ties[self._rr[name] % len(ties)]
+            choice.outstanding += 1
+            return choice
+
+    def _release(self, handle: ReplicaHandle) -> None:
+        with self._lock:
+            handle.outstanding -= 1
+
+    def _name_is_known(self, name: str) -> bool:
+        with self._lock:
+            return any(handle.serves(name)
+                       for handle in self._replicas.values())
+
+    def _note_transport_failure(self, handle: ReplicaHandle) -> None:
+        """A broken connection means the process is (almost certainly)
+        gone: mark it down *now* instead of waiting out ``fail_threshold``
+        probes, and let the fleet's respawn path decide what happened."""
+        fire = False
+        with self._lock:
+            handle.transport_failures += 1
+            handle.consecutive_failures += 1
+            if handle.healthy:
+                handle.healthy = False
+                fire = True
+        if fire and self.on_replica_down is not None:
+            self.on_replica_down(handle.id)
+
+    def predict(self, inputs: np.ndarray, model: str = "default",
+                return_probabilities: bool = False,
+                timeout: Optional[float] = None, priority: int = 0,
+                deadline_ms: Optional[float] = None) -> dict:
+        """Route one prediction to the fleet; same contract as
+        :meth:`repro.serve.Server.predict`.
+
+        Retries transport failures on other replicas with bounded backoff;
+        raises the same typed errors an in-process server would
+        (``ModelNotFound``, ``DeadlineExceeded``, ``ValueError``,
+        :class:`ShuttingDown`) so the HTTP handler's status mapping holds
+        unchanged, plus :class:`NoHealthyReplica` when the fleet is gone.
+        """
+        if self._closed:
+            raise ShuttingDown("Router is closed")
+        name, _ = parse_reference(str(model))
+        array = np.asarray(inputs, dtype=np.float64)
+        payload = {"model": str(model), "inputs": array.tolist(),
+                   "return_probabilities": bool(return_probabilities),
+                   "priority": int(priority)}
+        started = time.perf_counter()
+        request_timeout = (timeout if timeout is not None
+                           else self.config.request_timeout)
+        with self._lock:
+            self._counters["requests"] += 1
+        backoff = self.config.retry_backoff_ms / 1000.0
+        backoff_cap = self.config.retry_backoff_cap_ms / 1000.0
+        exclude: Set[str] = set()
+        not_found: Optional[ModelNotFound] = None
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.config.max_attempts):
+            remaining_deadline = None
+            if deadline_ms is not None:
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                remaining_deadline = float(deadline_ms) - elapsed_ms
+                if remaining_deadline <= 0:
+                    raise DeadlineExceeded(
+                        f"request deadline exceeded after {elapsed_ms:.1f} ms "
+                        f"of routing")
+                payload["deadline_ms"] = remaining_deadline
+            if attempt > 0:
+                with self._lock:
+                    self._counters["retries"] += 1
+            handle = self._pick(name, exclude)
+            if handle is None:
+                if exclude:
+                    # Every current owner was tried.  All answered 404 ->
+                    # the reference genuinely does not resolve anywhere;
+                    # otherwise widen back out (a down replica may have
+                    # respawned, a draining one been re-admitted).
+                    if not_found is not None and last_error is None:
+                        raise not_found
+                    exclude.clear()
+                elif self._replicas and not self._name_is_known(name):
+                    raise ModelNotFound(
+                        f"no replica serves model {name!r}; fleet serves: "
+                        f"{sorted(set().union(*(h.names or set() for h in self._replicas.values())))}")
+                time.sleep(backoff)
+                backoff = min(backoff * 2, backoff_cap)
+                continue
+            try:
+                status, body = handle.request(
+                    "POST", "/predict",
+                    body=json.dumps(payload).encode("utf-8"),
+                    timeout=request_timeout)
+            except (OSError, http.client.HTTPException) as error:
+                self._release(handle)
+                self._note_transport_failure(handle)
+                with self._lock:
+                    self._counters["failovers"] += 1
+                exclude.add(handle.id)
+                last_error = error
+                time.sleep(backoff)
+                backoff = min(backoff * 2, backoff_cap)
+                continue
+            self._release(handle)
+            if status == 200:
+                with self._lock:
+                    handle.served += 1
+                return body
+            message = body.get("error", f"replica answered HTTP {status}")
+            if status == 404:
+                # Mid-swap, another owner may already hold this version.
+                not_found = ModelNotFound(message)
+                exclude.add(handle.id)
+                continue
+            if status in _NO_RETRY:
+                if status == 504:
+                    raise DeadlineExceeded(message)
+                raise ValueError(message)
+            # 503 (replica shutting down) and other 5xx: replica-local,
+            # the request itself is fine — fail over.
+            exclude.add(handle.id)
+            last_error = ShuttingDown(message) if status == 503 \
+                else RuntimeError(message)
+            time.sleep(backoff)
+            backoff = min(backoff * 2, backoff_cap)
+        raise NoHealthyReplica(
+            f"no replica could answer for {model!r} after "
+            f"{self.config.max_attempts} attempts; last error: {last_error}")
+
+    # ------------------------------------------------------------------ #
+    # Health monitoring
+    # ------------------------------------------------------------------ #
+    def probe(self, replica_id: str) -> bool:
+        """One health probe; updates the handle's manifest and liveness."""
+        with self._lock:
+            handle = self._replicas.get(replica_id)
+        if handle is None:
+            return False
+        try:
+            status, payload = handle.request(
+                "GET", "/healthz", timeout=self.config.probe_timeout)
+        except (OSError, http.client.HTTPException):
+            status, payload = 0, {}
+        fire = False
+        with self._lock:
+            if status == 200:
+                handle.consecutive_failures = 0
+                handle.healthy = True
+                models = payload.get("models")
+                if isinstance(models, list):
+                    handle.versions = set(models)
+                    handle.names = {parse_reference(m)[0] for m in models}
+                handle.queue_depth = int(payload.get("queue_depth", 0) or 0)
+                # a replica can also *self*-report draining (direct
+                # /admin/drain) — honor it without clobbering router-side
+                # drains, which set the flag on the handle itself
+                if payload.get("draining"):
+                    handle.draining = True
+            else:
+                handle.consecutive_failures += 1
+                if (handle.healthy and handle.consecutive_failures
+                        >= self.config.fail_threshold):
+                    handle.healthy = False
+                    fire = True
+        if fire and self.on_replica_down is not None:
+            self.on_replica_down(replica_id)
+        return status == 200
+
+    def probe_all(self) -> Dict[str, bool]:
+        return {replica_id: self.probe(replica_id)
+                for replica_id in self.replica_ids()}
+
+    def start_health_monitor(self) -> None:
+        """Start the background probe loop (idempotent)."""
+        if self._monitor is not None and self._monitor.is_alive():
+            return
+        self._stop.clear()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         daemon=True,
+                                         name="repro-serve-router-health")
+        self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.health_interval):
+            self.probe_all()
+
+    def wait_healthy(self, count: int, timeout: float = 30.0) -> bool:
+        """Block until ``count`` replicas are healthy (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.probe_all()
+            with self._lock:
+                healthy = sum(1 for handle in self._replicas.values()
+                              if handle.healthy)
+            if healthy >= count:
+                return True
+            time.sleep(0.05)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Aggregation (the fleet-wide /models, /stats, /healthz, /describe)
+    # ------------------------------------------------------------------ #
+    def _handles(self) -> List[ReplicaHandle]:
+        with self._lock:
+            return list(self._replicas.values())
+
+    def health(self) -> dict:
+        """Fleet-wide health: per-replica states plus the merged manifest."""
+        handles = self._handles()
+        healthy = sum(1 for handle in handles if handle.healthy)
+        if self._closed:
+            status = "closed"
+        elif healthy == len(handles) and handles:
+            status = "ok"
+        elif healthy:
+            status = "degraded"
+        else:
+            status = "down"
+        models: Set[str] = set()
+        for handle in handles:
+            models |= handle.versions
+        with self._lock:
+            replicas = {handle.id: handle.describe() for handle in handles}
+        return {"status": status,
+                "draining": all(handle.draining for handle in handles)
+                if handles else False,
+                "queue_depth": sum(handle.queue_depth for handle in handles),
+                "replicas": replicas,
+                "models": sorted(models)}
+
+    def models(self) -> Dict[str, dict]:
+        """The merged registry listing across every reachable replica."""
+        merged: Dict[str, dict] = {}
+        for handle in self._handles():
+            try:
+                status, payload = handle.request(
+                    "GET", "/models", timeout=self.config.probe_timeout)
+            except (OSError, http.client.HTTPException):
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            for name, entry in payload.items():
+                into = merged.setdefault(name, {"latest": entry.get("latest"),
+                                                "versions": {}})
+                into["versions"].update(entry.get("versions", {}))
+                if entry.get("latest"):
+                    into["latest"] = entry["latest"]
+        return merged
+
+    def stats(self) -> Dict[str, dict]:
+        """Fleet-wide counters: per-``model@version`` sums across replicas
+        plus a ``_router`` entry (routing counters and per-replica state).
+
+        Counter keys sum; ``largest_batch`` takes the max; the merged
+        ``mean_batch_size`` is weighted by each replica's batch count.
+        """
+        merged: Dict[str, dict] = {}
+        weighted: Dict[str, float] = {}
+        for handle in self._handles():
+            try:
+                status, payload = handle.request(
+                    "GET", "/stats", timeout=self.config.probe_timeout)
+            except (OSError, http.client.HTTPException):
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            for key, entry in payload.items():
+                if not isinstance(entry, dict):
+                    continue
+                into = merged.setdefault(key, {})
+                for field, value in entry.items():
+                    if not isinstance(value, (int, float)) \
+                            or isinstance(value, bool):
+                        continue
+                    if field == "largest_batch":
+                        into[field] = max(into.get(field, 0), value)
+                    elif field == "mean_batch_size":
+                        weighted[key] = weighted.get(key, 0.0) \
+                            + value * entry.get("batches", 0)
+                    else:
+                        into[field] = into.get(field, 0) + value
+        for key, entry in merged.items():
+            batches = entry.get("batches", 0)
+            entry["mean_batch_size"] = (
+                round(weighted.get(key, 0.0) / batches, 2) if batches else 0.0)
+        with self._lock:
+            counters = dict(self._counters)
+        counters["replicas"] = {handle.id: handle.describe()
+                                for handle in self._handles()}
+        merged["_router"] = counters
+        return merged
+
+    def describe(self) -> dict:
+        return {"models": self.models(),
+                "router": {
+                    "replicas": {handle.id: handle.describe()
+                                 for handle in self._handles()},
+                    "health_interval": self.config.health_interval,
+                    "fail_threshold": self.config.fail_threshold,
+                    "max_attempts": self.config.max_attempts,
+                },
+                "stats": self.stats()}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._closed = True
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        for handle in self._handles():
+            handle.pool.close()
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

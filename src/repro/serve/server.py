@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .artifact import Servable, load_servable
-from .batching import BatcherStats, BatchingConfig, MicroBatcher
+from .batching import BatcherStats, BatchingConfig, MicroBatcher, ShuttingDown
 from .registry import ModelRegistry
 
 __all__ = ["Server"]
@@ -56,6 +56,9 @@ class Server:
         self._draining: Dict[Tuple[str, str], List[MicroBatcher]] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: advisory replica-level flag (see :meth:`set_draining`) — distinct
+        #: from ``_draining``, the retired batchers still answering work
+        self._drain_flag = False
 
     # ------------------------------------------------------------------ #
     # Model management (thin passthroughs over the registry)
@@ -76,7 +79,7 @@ class Server:
         stale = None
         with self._lock:
             if self._closed:
-                raise RuntimeError("Server is closed")
+                raise ShuttingDown("Server is closed")
             entry = self._batchers.get(key)
             # A version string can be re-registered with different weights
             # (unregister + register, e.g. re-publishing a fixed model); the
@@ -193,6 +196,50 @@ class Server:
                 merged[f"{key[0]}@{key[1]}"] = stats.as_dict()
         return merged
 
+    def models(self) -> Dict[str, dict]:
+        """The registry listing (what ``GET /models`` returns)."""
+        return self.registry.describe()
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` payload: real routing/balancing signal.
+
+        Beyond liveness, reports the loaded ``name@version`` list (shard
+        manifest), total queued requests, and batcher-worker counts — what
+        a fleet router's health checks need to route, balance, and decide
+        when a draining replica has actually gone quiet.
+        """
+        with self._lock:
+            batchers = [entry[1] for entry in self._batchers.values()]
+            batchers.extend(batcher for group in self._draining.values()
+                            for batcher in group)
+            closed, draining = self._closed, self._drain_flag
+        queue_depth = sum(batcher.queue_depth() for batcher in batchers)
+        workers_alive = sum(batcher.workers_alive() for batcher in batchers)
+        workers_expected = sum(batcher.config.num_workers
+                               for batcher in batchers)
+        status = "closed" if closed else ("draining" if draining else "ok")
+        return {
+            "status": status,
+            "draining": draining,
+            "queue_depth": queue_depth,
+            "workers": {"alive": workers_alive, "expected": workers_expected},
+            "models": self.registry.manifest(),
+        }
+
+    @property
+    def draining(self) -> bool:
+        return self._drain_flag
+
+    def set_draining(self, draining: bool) -> None:
+        """Flag this server as draining (reported via :meth:`health`).
+
+        Purely advisory — requests are still accepted and answered; a fleet
+        router reads the flag to stop routing *new* traffic here while a
+        rolling hot-swap waits for in-flight work to finish.
+        """
+        with self._lock:
+            self._drain_flag = bool(draining)
+
     def describe(self) -> dict:
         return {"models": self.registry.describe(),
                 "batching": {
@@ -203,8 +250,14 @@ class Server:
                 },
                 "stats": self.stats()}
 
-    def close(self) -> None:
-        """Drain and stop every batcher (queued requests are still answered)."""
+    def close(self, drain: bool = True) -> None:
+        """Stop every batcher.
+
+        With ``drain`` (the default) queued requests are still answered
+        first; with ``drain=False`` they fail fast with
+        :class:`~repro.serve.ShuttingDown` — either way no client is left
+        hanging on a future that will never resolve.
+        """
         with self._lock:
             self._closed = True
             entries = list(self._batchers.values())
@@ -212,9 +265,9 @@ class Server:
                         for batcher in batchers]
             self._batchers.clear()
         for _, batcher in entries:
-            batcher.close()
+            batcher.close(drain=drain)
         for batcher in draining:
-            batcher.close()
+            batcher.close(drain=drain)
 
     def __enter__(self) -> "Server":
         return self

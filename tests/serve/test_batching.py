@@ -6,7 +6,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import BatchingConfig, MicroBatcher, input_digest
+from repro.serve import (BatchingConfig, MicroBatcher, ShuttingDown,
+                         input_digest)
 
 from .conftest import GatedModel
 
@@ -189,8 +190,56 @@ class TestErrorsAndLifecycle:
         future = batcher.submit(np.ones(3))
         batcher.close()
         assert np.array_equal(future.result(timeout=10), np.ones(3))
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(ShuttingDown, match="closed"):
             batcher.submit(np.ones(3))
+
+    def test_close_without_drain_fails_pending_fast(self):
+        """Regression: ``close(drain=False)`` used to leave queued futures
+        hanging forever behind a wedged forward.  Now they fail fast with
+        :class:`ShuttingDown` while the in-flight request still answers."""
+        model = GatedModel()
+        batcher = MicroBatcher(model, BatchingConfig(max_batch_size=1,
+                                                     max_latency_ms=0,
+                                                     cache_size=0))
+        in_flight = batcher.submit(np.ones(2))
+        assert model.entered.wait(timeout=10)   # worker parked in a forward
+        queued = [batcher.submit(np.full(2, i)) for i in range(3)]
+        assert batcher.queue_depth() == 3
+
+        closer = threading.Thread(target=batcher.close,
+                                  kwargs={"drain": False})
+        closer.start()
+        # Shed immediately — NOT after the wedged forward finishes.
+        for future in queued:
+            with pytest.raises(ShuttingDown):
+                future.result(timeout=10)
+        assert batcher.queue_depth() == 0
+        assert batcher.snapshot().shed == 3
+
+        model.release.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        # The request already inside the forward still answers normally...
+        assert np.array_equal(in_flight.result(timeout=10), np.ones(2))
+        # ...and late submits fail fast too, with the same typed error.
+        with pytest.raises(ShuttingDown):
+            batcher.submit(np.ones(2))
+
+    def test_queue_depth_and_workers_alive_track_reality(self):
+        model = GatedModel()
+        batcher = MicroBatcher(model, BatchingConfig(max_batch_size=1,
+                                                     max_latency_ms=0,
+                                                     cache_size=0,
+                                                     num_workers=2))
+        assert batcher.workers_alive() == 2
+        assert batcher.queue_depth() == 0
+        first = batcher.submit(np.ones(2))
+        assert model.entered.wait(timeout=10)
+        model.release.set()
+        assert np.array_equal(first.result(timeout=10), np.ones(2))
+        batcher.close()
+        assert batcher.workers_alive() == 0
+        assert not batcher.is_draining()
 
 
 class TestRequestValidation:

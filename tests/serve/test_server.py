@@ -137,11 +137,114 @@ class TestServerApi:
             server.predict(features[:1], deadline_ms=-1)
 
     def test_closed_server_rejects_requests(self, artifact_dir, features):
+        from repro.serve import ShuttingDown
+
         app = Server()
         app.load("default", artifact_dir)
         app.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(ShuttingDown, match="closed"):
             app.predict(features[:1])
+        assert app.health()["status"] == "closed"
+
+
+class TestHealthAndDrain:
+    def test_health_reports_queue_workers_and_manifest(self, server,
+                                                       features):
+        server.predict(features[:1])    # instantiate the batcher
+        health = server.health()
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert health["workers"] == {"alive": 1, "expected": 1}
+        assert health["models"] == ["default@1"]
+
+    def test_draining_flag_is_advisory(self, server, features):
+        server.set_draining(True)
+        health = server.health()
+        assert health["status"] == "draining"
+        assert health["draining"] is True
+        # Advisory only: in-flight and even new requests still answer —
+        # it is the *router* that stops sending new traffic here.
+        assert server.predict(features[:2])["version"] == "1"
+        server.set_draining(False)
+        assert server.health()["status"] == "ok"
+
+
+class TestHotSwapRacingRequests:
+    def test_swap_racing_requests_old_or_new_never_mixed(self, tmp_path,
+                                                         features):
+        """The hot-swap contract at the request level: while ``m@latest``
+        is repointed under continuous traffic, every response is the old
+        OR the new version's bit-exact output — never an error, never a
+        row from a batch that mixed weights."""
+        import time
+
+        from repro.serve import export_end_model, load_servable
+
+        from .conftest import CLASS_NAMES, make_end_model
+
+        quantum = 8
+        old_path = str(tmp_path / "v1")
+        new_path = str(tmp_path / "v2")
+        export_end_model(make_end_model(seed=0), old_path,
+                         class_names=CLASS_NAMES)
+        export_end_model(make_end_model(seed=5), new_path,
+                         class_names=CLASS_NAMES)
+        old = load_servable(old_path).predict_proba(features,
+                                                    batch_size=quantum)
+        new = load_servable(new_path).predict_proba(features,
+                                                    batch_size=quantum)
+        assert not np.array_equal(old, new)
+
+        app = Server(batching=BatchingConfig(max_batch_size=quantum,
+                                             max_latency_ms=1, cache_size=0))
+        app.load("m", old_path)
+        errors, bad_rows = [], []
+        versions_seen = set()
+        stop = threading.Event()
+
+        def client():
+            i = 0
+            while not stop.is_set():
+                i = (i + 1) % len(features)
+                try:
+                    response = app.predict(features[i], model="m",
+                                           return_probabilities=True)
+                except Exception as error:  # pragma: no cover - reporting
+                    errors.append(error)
+                    continue
+                row = np.asarray(response["probabilities"][0])
+                versions_seen.add(response["version"])
+                expected = old if response["version"] == "1" else new
+                if not np.array_equal(row, expected[i]):
+                    bad_rows.append(i)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            time.sleep(0.05)
+            assert app.load("m", new_path) == "2"   # the racing swap
+            time.sleep(0.05)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        try:
+            assert not errors, errors[:3]
+            assert not bad_rows
+            # After the swap, 'm' resolves to the new weights...
+            final = app.predict(features[0], model="m",
+                                return_probabilities=True)
+            assert final["version"] == "2"
+            assert np.array_equal(np.asarray(final["probabilities"][0]),
+                                  new[0])
+            # ...and the old version stays addressable explicitly.
+            pinned = app.predict(features[0], model="m@1",
+                                 return_probabilities=True)
+            assert np.array_equal(np.asarray(pinned["probabilities"][0]),
+                                  old[0])
+        finally:
+            app.close()
 
 
 class TestHttpEndpoint:
@@ -162,7 +265,11 @@ class TestHttpEndpoint:
 
     def test_health_models_stats(self, endpoint, features):
         with urllib.request.urlopen(f"{endpoint}/healthz", timeout=10) as r:
-            assert json.loads(r.read()) == {"status": "ok"}
+            health = json.loads(r.read())
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        assert health["models"] == ["default@1"]
+        assert health["queue_depth"] == 0
         with urllib.request.urlopen(f"{endpoint}/models", timeout=10) as r:
             models = json.loads(r.read())
         assert models["default"]["latest"] == "1"
