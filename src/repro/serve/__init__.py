@@ -24,23 +24,34 @@ from .artifact import (ArtifactError, SCHEMA_VERSION, Servable,
                        ServableEnsemble, ServableModel, export_end_model,
                        export_ensemble, load_servable, read_manifest)
 from .batching import (BatcherStats, BatchingConfig, DeadlineExceeded,
-                       MicroBatcher, ShuttingDown, input_digest)
+                       MicroBatcher, Overloaded, ShuttingDown, input_digest)
+from .capacity import (AdmissionController, CapacityModel, CapacityPrediction,
+                       LATENCY_ERROR_BOUND, SLO, ServiceModel,
+                       THROUGHPUT_ERROR_BOUND, calibrate_service_model)
 from .fleet import (FleetConfig, ReplicaSpec, ServingFleet, replicated_specs,
                     sharded_specs)
 from .http import make_http_server, start_http_server
 from .registry import ModelNotFound, ModelRegistry, parse_reference
 from .router import NoHealthyReplica, Router, RouterConfig
 from .server import Server
+from .traffic import (TrafficGenerator, TrafficReport, adversarial_trace,
+                      bursty_trace, compare_prediction, diurnal_trace,
+                      poisson_trace)
 
 __all__ = [
     "SCHEMA_VERSION", "ArtifactError", "Servable", "ServableModel",
     "ServableEnsemble", "export_end_model", "export_ensemble",
     "load_servable", "read_manifest",
     "BatchingConfig", "BatcherStats", "DeadlineExceeded", "MicroBatcher",
-    "ShuttingDown", "input_digest",
+    "Overloaded", "ShuttingDown", "input_digest",
     "ModelRegistry", "ModelNotFound", "parse_reference",
     "Server", "make_http_server", "start_http_server",
     "Router", "RouterConfig", "NoHealthyReplica",
     "ServingFleet", "FleetConfig", "ReplicaSpec", "replicated_specs",
     "sharded_specs",
+    "AdmissionController", "CapacityModel", "CapacityPrediction",
+    "ServiceModel", "SLO", "calibrate_service_model",
+    "THROUGHPUT_ERROR_BOUND", "LATENCY_ERROR_BOUND",
+    "TrafficGenerator", "TrafficReport", "adversarial_trace", "bursty_trace",
+    "compare_prediction", "diurnal_trace", "poisson_trace",
 ]

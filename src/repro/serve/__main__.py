@@ -97,6 +97,58 @@ def _train_demo_artifact(directory: str, seed: int = 0) -> Tuple[str, str]:
     return end_path, ensemble_path
 
 
+def _attach_capacity(server: Server, model_name: str,
+                     args: argparse.Namespace) -> None:
+    """Calibrate, optionally autotune the batching knobs, attach admission.
+
+    Runs the calibration probe against the first loaded model, prints the
+    fitted service law, then — with ``--autotune-p99-ms`` — swaps the
+    server's batching config for the cheapest one whose *predicted* p99
+    meets the SLO at ``--autotune-rate`` (batchers are created lazily, so
+    this is safe before traffic starts).  With ``--admission-max-delay-ms``
+    it attaches the admission gate that turns hopeless requests into
+    retryable 429s.  Everything lands on ``GET /capacity``.
+    """
+    from .capacity import (AdmissionController, CapacityModel, SLO,
+                           calibrate_service_model)
+
+    _, _, servable = server.registry.resolve(model_name)
+    print(f"calibrating service model against {model_name!r}...", flush=True)
+    service = calibrate_service_model(servable.predict_proba,
+                                      input_dim=servable.input_dim,
+                                      dtype=servable.dtype)
+    print(f"  s(B) = {service.base_s * 1e3:.3f} ms "
+          f"+ {service.per_row_s * 1e3:.4f} ms/row, "
+          f"dispatch overhead {service.overhead_s * 1e6:.1f} us/req",
+          flush=True)
+    model = CapacityModel(service)
+    if args.autotune_p99_ms is not None:
+        slo = SLO(p99_ms=args.autotune_p99_ms)
+        try:
+            tuned, prediction = model.autotune(
+                slo, arrival_rate=args.autotune_rate,
+                base_config=server.batching)
+        except ValueError as error:
+            raise SystemExit(f"autotune: {error}")
+        server.batching = tuned
+        print(f"autotuned for p99 <= {args.autotune_p99_ms:.1f} ms at "
+              f"{args.autotune_rate:.0f} req/s: "
+              f"max_batch_size={tuned.max_batch_size} "
+              f"max_latency_ms={tuned.max_latency_ms} "
+              f"num_workers={tuned.num_workers} "
+              f"(predicted p99 {prediction.p99_ms:.1f} ms, capacity "
+              f"{prediction.capacity:.0f} req/s)", flush=True)
+    if args.admission_max_delay_ms is not None:
+        server.set_admission(AdmissionController(
+            model, server.batching,
+            max_delay_ms=args.admission_max_delay_ms))
+        print(f"admission control armed: shedding (429) beyond "
+              f"{args.admission_max_delay_ms:.1f} ms predicted wait",
+              flush=True)
+    else:
+        server.capacity_model = model
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -134,6 +186,22 @@ def main(argv=None) -> int:
     parser.add_argument("--demo", action="store_true",
                         help="train a small synthetic pipeline and serve it "
                              "(both the end model and the taglet ensemble)")
+    parser.add_argument("--autotune-p99-ms", type=float, default=None,
+                        metavar="MS",
+                        help="calibrate the default model, then replace the "
+                             "batching knobs with the cheapest config whose "
+                             "predicted p99 meets this SLO at "
+                             "--autotune-rate (single-process only)")
+    parser.add_argument("--autotune-rate", type=float, default=100.0,
+                        metavar="REQ_PER_S",
+                        help="arrival rate the autotuned SLO must hold at "
+                             "(default 100 req/s)")
+    parser.add_argument("--admission-max-delay-ms", type=float, default=None,
+                        metavar="MS",
+                        help="attach model-driven admission control: shed "
+                             "requests (HTTP 429, retryable) whose predicted "
+                             "queue wait exceeds this budget, or whose own "
+                             "deadline cannot be met (single-process only)")
     args = parser.parse_args(argv)
 
     batching = BatchingConfig(max_batch_size=args.max_batch_size,
@@ -149,7 +217,13 @@ def main(argv=None) -> int:
     if not models:
         parser.error("nothing to serve: pass artifact paths, --model, or --demo")
 
+    capacity_flags = (args.autotune_p99_ms is not None
+                      or args.admission_max_delay_ms is not None)
     if args.fleet > 0:
+        if capacity_flags:
+            print("warning: --autotune-p99-ms/--admission-max-delay-ms "
+                  "calibrate against an in-process servable and are ignored "
+                  "with --fleet", file=sys.stderr, flush=True)
         specs = (sharded_specs(models, args.fleet) if args.shard
                  else replicated_specs(models, args.fleet))
         fleet = ServingFleet(specs, FleetConfig(
@@ -169,13 +243,16 @@ def main(argv=None) -> int:
         for name, path in models:
             version = server.load(name, path)
             print(f"loaded {name}@{version} from {path}", flush=True)
+        if capacity_flags:
+            _attach_capacity(server, models[0][0], args)
         app = server
 
     httpd = make_http_server(app, host=args.host, port=args.port)
     host, port = httpd.server_address[:2]
     count = len(models)
     print(f"serving {count} model(s) on http://{host}:{port} "
-          f"(POST /predict, GET /models, /stats, /healthz)", flush=True)
+          f"(POST /predict, GET /models, /stats, /healthz, /capacity)",
+          flush=True)
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:

@@ -43,11 +43,24 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 __all__ = ["BatchingConfig", "BatcherStats", "DeadlineExceeded",
-           "MicroBatcher", "ShuttingDown", "input_digest", "run_at_quantum"]
+           "MicroBatcher", "Overloaded", "ShuttingDown", "input_digest",
+           "run_at_quantum"]
 
 
 class DeadlineExceeded(RuntimeError):
     """A request's deadline passed before a worker could serve it."""
+
+
+class Overloaded(RuntimeError):
+    """The server shed this request *before* queueing it (HTTP 429).
+
+    Raised by model-driven admission control (see
+    :class:`repro.serve.capacity.AdmissionController`) when the predicted
+    queueing delay already exceeds the latency budget — the request would
+    only expire in the queue, so it is refused up front while it is still
+    cheap to retry elsewhere.  Retryable by design: a fleet router fails a
+    429 over to a less-loaded replica.
+    """
 
 
 class ShuttingDown(RuntimeError):
@@ -143,10 +156,20 @@ class BatcherStats:
     cache_hits: int = 0
     cache_misses: int = 0
     largest_batch: int = 0
+    #: requests answered with a prediction (cache hits included).  Together
+    #: with the failure counters this conserves accepted traffic: once all
+    #: futures have resolved, ``requests == served + expired + shed +
+    #: errors`` (``rejected`` requests never count into ``requests`` — they
+    #: fail synchronously at submit).
+    served: int = 0
+    #: requests whose forward raised — the error fanned out to the batch
+    errors: int = 0
     #: requests rejected at submit (wrong width/dtype/shape) — each failed
     #: alone, no batch-mate ever saw them
     rejected: int = 0
-    #: requests whose deadline passed before a forward could serve them
+    #: requests whose deadline passed before a forward could serve them —
+    #: or, the forward done, before the result could be delivered (a
+    #: request never completes successfully after its own deadline)
     expired: int = 0
     #: queued requests failed fast with :class:`ShuttingDown` because the
     #: batcher stopped before a worker could serve them
@@ -176,6 +199,7 @@ class BatcherStats:
                 "cache_misses": self.cache_misses,
                 "largest_batch": self.largest_batch,
                 "mean_batch_size": round(mean, 2),
+                "served": self.served, "errors": self.errors,
                 "rejected": self.rejected, "expired": self.expired,
                 "shed": self.shed}
 
@@ -455,6 +479,7 @@ class MicroBatcher:
             if cached is not None:
                 with self._stats_lock:
                     self._stats.cache_hits += 1
+                    self._stats.served += 1
                 # A fresh copy per hit: a caller mutating its result in
                 # place must never corrupt what later requests are served.
                 result = cached.copy()
@@ -593,11 +618,15 @@ class MicroBatcher:
         rows = first.rows
         deadline = time.perf_counter() + self.config.max_latency_ms / 1000.0
         while rows < self.config.max_batch_size:
+            # ``max_latency_ms`` bounds how long the batch *waits* for
+            # company; requests already queued when the window closes are
+            # still scooped (a zero-timeout get) — fusing a backlog adds
+            # no latency, and under load it is what lets a batch-B config
+            # actually reach B-row forwards instead of degenerating to
+            # one-row batches.
             remaining = deadline - time.perf_counter()
-            if remaining <= 0:
-                break
             try:
-                item = self._queue.get(timeout=remaining)
+                item = self._queue.get(timeout=max(0.0, remaining))
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
@@ -623,12 +652,29 @@ class MicroBatcher:
 
     def _process(self, batch: List["_Request"],
                  worker_stats: BatcherStats) -> None:
+        # Fuse-time re-check: a deadline can pass between the gather in
+        # _drain_batch (where expiry was last checked) and this forward —
+        # the batch may have waited out max_latency_ms collecting company.
+        # Expired requests are dropped here so they never occupy rows in
+        # the forward; their batch-mates are fused and served unharmed.
+        now = time.perf_counter()
+        live: List["_Request"] = []
+        for request in batch:
+            if request.expired(now):
+                self._expire(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        batch = live
         rows = int(sum(r.rows for r in batch))
         fused = (batch[0].features if len(batch) == 1
                  else np.concatenate([r.features for r in batch]))
         try:
             predictions = self._forward(fused)
         except BaseException as error:  # fan the failure out, keep serving
+            with self._stats_lock:
+                self._stats.errors += len(batch)
             for request in batch:
                 request.future.set_exception(error)
             return
@@ -637,6 +683,7 @@ class MicroBatcher:
             worker_stats.batched_examples += rows
             worker_stats.largest_batch = max(worker_stats.largest_batch, rows)
         offset = 0
+        delivered = 0
         for request in batch:
             result = predictions[offset:offset + request.rows]
             offset += request.rows
@@ -644,8 +691,22 @@ class MicroBatcher:
                 # Cache an owned copy: the requester's array must never
                 # alias the cache (callers may mutate their result), and a
                 # row-sized copy does not pin the whole fused batch alive.
+                # Cached even when the requester expired below — the
+                # forward is done, so the work may as well serve repeats.
                 self._cache.put(request.digest, result.copy())
+            # Delivery-time check: the deadline may have passed *during*
+            # the forward.  Failing with DeadlineExceeded here is what
+            # guarantees a request never completes successfully after its
+            # own deadline — the latency contract stays honest even when
+            # the answer was computed.
+            if request.expired():
+                self._expire(request)
+                continue
             request.future.set_result(result[0] if request.single else result)
+            delivered += 1
+        if delivered:
+            with self._stats_lock:
+                self._stats.served += delivered
 
     def _run(self, worker_stats: BatcherStats) -> None:
         while True:

@@ -12,6 +12,8 @@ Routes::
     GET  /models    -> registry listing (manifest summaries per version)
     GET  /stats     -> per-model batcher counters
     GET  /describe  -> full server description (models + batching + stats)
+    GET  /capacity  -> calibrated capacity model + admission-control state
+                       (queue depth, predicted wait, shed counters)
     POST /predict   -> {"model": "name[@version]", "inputs": [[...], ...],
                         "return_probabilities": false,
                         "priority": 0, "deadline_ms": null}
@@ -36,8 +38,10 @@ are validated before they are fused, it fails alone without disturbing the
 valid requests batched alongside it.  A request whose ``deadline_ms``
 passes while it queues returns **504**.  Unknown models are **404**; a
 server that is shutting down answers **503** (retryable — a fleet router
-fails the request over to a healthy replica); only genuine serving
-failures return **500**.
+fails the request over to a healthy replica); a request shed by
+model-driven admission control answers **429** (retryable — the request
+was fine, this replica just predicted it could not serve it in budget);
+only genuine serving failures return **500**.
 """
 
 from __future__ import annotations
@@ -50,7 +54,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .batching import DeadlineExceeded, ShuttingDown
+from .batching import DeadlineExceeded, Overloaded, ShuttingDown
 from .registry import ModelNotFound
 from .server import Server
 
@@ -99,6 +103,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._send_json(app.stats())
         elif self.path == "/describe":
             self._send_json(app.describe())
+        elif self.path == "/capacity":
+            capacity = getattr(app, "capacity", None)
+            if capacity is None:
+                self._send_error_json(
+                    404, "this app exposes no capacity surface")
+            else:
+                self._send_json(capacity())
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
@@ -226,6 +237,11 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return
         except DeadlineExceeded as error:
             self._send_error_json(504, str(error))
+            return
+        except Overloaded as error:
+            # Retryable: admission control shed the request before it
+            # queued — another replica (or a later retry) can serve it.
+            self._send_error_json(429, str(error))
             return
         except ShuttingDown as error:
             # Retryable: the process is going away, the request was fine.

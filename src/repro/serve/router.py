@@ -32,6 +32,12 @@ Routing semantics:
   404 is retried on the remaining owners (mid-swap, another replica may
   already hold the requested version) and only surfaces once every owner
   has answered 404.
+* **Deadlines.** Every retry sleep is capped at the request's remaining
+  ``deadline_ms`` and an exhausted deadline fails fast with
+  ``DeadlineExceeded`` *before* sleeping — backoff never burns a deadline
+  the client already paid for.  A 200 that arrives past the deadline is
+  suppressed (counted as ``late_responses``) and surfaces as the honest
+  504: no request ever completes successfully after its own deadline.
 
 The failure/retry matrix (also in ``docs/serving.md``):
 
@@ -40,8 +46,10 @@ replica answered      meaning                     router action
 ====================  ==========================  =========================
 connection error      process died / port gone    mark down, retry elsewhere
 200                   served                      return
+200 past deadline     answer arrived too late     raise 504 — never serve late
 400 / 413             malformed request           raise — no retry anywhere
 404                   model/version not here      retry untried owners
+429                   admission control shed      retry elsewhere (bounded)
 503                   replica shutting down       retry elsewhere
 504                   deadline expired in queue   raise — request is stale
 other 5xx             replica-local failure       retry elsewhere (bounded)
@@ -59,7 +67,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from .batching import DeadlineExceeded, ShuttingDown
+from .batching import DeadlineExceeded, Overloaded, ShuttingDown
 from .registry import ModelNotFound, parse_reference
 
 __all__ = ["NoHealthyReplica", "ReplicaHandle", "Router", "RouterConfig"]
@@ -226,7 +234,8 @@ class Router:
         self._replicas: Dict[str, ReplicaHandle] = {}
         self._lock = threading.Lock()
         self._rr: Dict[str, int] = {}
-        self._counters = {"requests": 0, "retries": 0, "failovers": 0}
+        self._counters = {"requests": 0, "retries": 0, "failovers": 0,
+                          "late_responses": 0}
         self._monitor: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._closed = False
@@ -362,17 +371,45 @@ class Router:
                            else self.config.request_timeout)
         with self._lock:
             self._counters["requests"] += 1
+
+        def remaining_ms() -> Optional[float]:
+            """Milliseconds left on the request's own deadline (None = no
+            deadline).  All backoff/retry accounting is charged against it —
+            routing time is part of the latency the client asked us to bound."""
+            if deadline_ms is None:
+                return None
+            return (float(deadline_ms)
+                    - (time.perf_counter() - started) * 1000.0)
+
+        def backoff_sleep(seconds: float) -> None:
+            """Sleep between attempts — but never past the deadline.
+
+            A request with ``deadline_ms=50`` must not burn 20+40 ms of
+            unconditional backoff and be retried already-expired: each sleep
+            is capped at the remaining deadline, and an exhausted deadline
+            fails fast with DeadlineExceeded *before* sleeping.
+            """
+            remaining = remaining_ms()
+            if remaining is not None:
+                if remaining <= 0:
+                    elapsed = (time.perf_counter() - started) * 1000.0
+                    raise DeadlineExceeded(
+                        f"request deadline exceeded after {elapsed:.1f} ms "
+                        f"of routing")
+                seconds = min(seconds, remaining / 1000.0)
+            if seconds > 0:
+                time.sleep(seconds)
+
         backoff = self.config.retry_backoff_ms / 1000.0
         backoff_cap = self.config.retry_backoff_cap_ms / 1000.0
         exclude: Set[str] = set()
         not_found: Optional[ModelNotFound] = None
         last_error: Optional[BaseException] = None
         for attempt in range(self.config.max_attempts):
-            remaining_deadline = None
-            if deadline_ms is not None:
-                elapsed_ms = (time.perf_counter() - started) * 1000.0
-                remaining_deadline = float(deadline_ms) - elapsed_ms
+            remaining_deadline = remaining_ms()
+            if remaining_deadline is not None:
                 if remaining_deadline <= 0:
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
                     raise DeadlineExceeded(
                         f"request deadline exceeded after {elapsed_ms:.1f} ms "
                         f"of routing")
@@ -394,7 +431,7 @@ class Router:
                     raise ModelNotFound(
                         f"no replica serves model {name!r}; fleet serves: "
                         f"{sorted(set().union(*(h.names or set() for h in self._replicas.values())))}")
-                time.sleep(backoff)
+                backoff_sleep(backoff)
                 backoff = min(backoff * 2, backoff_cap)
                 continue
             try:
@@ -409,11 +446,24 @@ class Router:
                     self._counters["failovers"] += 1
                 exclude.add(handle.id)
                 last_error = error
-                time.sleep(backoff)
+                backoff_sleep(backoff)
                 backoff = min(backoff * 2, backoff_cap)
                 continue
             self._release(handle)
             if status == 200:
+                remaining = remaining_ms()
+                if remaining is not None and remaining < 0:
+                    # The replica answered, but past the client's deadline
+                    # (slow transit, a forward that barely missed).  A
+                    # request must never complete successfully after its
+                    # own deadline, so the late response is suppressed and
+                    # the honest 504 surfaces instead.
+                    with self._lock:
+                        self._counters["late_responses"] += 1
+                    raise DeadlineExceeded(
+                        f"replica answered {-remaining:.1f} ms past the "
+                        f"{float(deadline_ms):.1f} ms deadline; late "
+                        f"response suppressed")
                 with self._lock:
                     handle.served += 1
                 return body
@@ -427,13 +477,21 @@ class Router:
                 if status == 504:
                     raise DeadlineExceeded(message)
                 raise ValueError(message)
-            # 503 (replica shutting down) and other 5xx: replica-local,
-            # the request itself is fine — fail over.
+            # 429 (admission shed), 503 (replica shutting down), and other
+            # 5xx: replica-local, the request itself is fine — fail over.
             exclude.add(handle.id)
-            last_error = ShuttingDown(message) if status == 503 \
-                else RuntimeError(message)
-            time.sleep(backoff)
+            if status == 429:
+                last_error = Overloaded(message)
+            elif status == 503:
+                last_error = ShuttingDown(message)
+            else:
+                last_error = RuntimeError(message)
+            backoff_sleep(backoff)
             backoff = min(backoff * 2, backoff_cap)
+        if isinstance(last_error, Overloaded):
+            # Every attempt was shed by admission control: the whole fleet
+            # is saturated.  Surface the retryable 429, not a routing error.
+            raise last_error
         raise NoHealthyReplica(
             f"no replica could answer for {model!r} after "
             f"{self.config.max_attempts} attempts; last error: {last_error}")
@@ -600,6 +658,45 @@ class Router:
                                 for handle in self._handles()}
         merged["_router"] = counters
         return merged
+
+    def capacity(self) -> dict:
+        """Fleet-wide ``GET /capacity``: per-replica payloads plus totals.
+
+        Sums replica capacity (req/s), queue depth, and admission counters
+        across every replica that answers — the number a capacity planner
+        compares against fleet-level arrival rate.  Replicas without a
+        capacity model report ``model: null`` and contribute nothing to
+        the fleet capacity sum.
+        """
+        replicas: Dict[str, dict] = {}
+        total_capacity = 0.0
+        modeled = 0
+        queue_depth = 0
+        admitted = shed = 0
+        for handle in self._handles():
+            try:
+                status, payload = handle.request(
+                    "GET", "/capacity", timeout=self.config.probe_timeout)
+            except (OSError, http.client.HTTPException):
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            replicas[handle.id] = payload
+            queue_depth += int(payload.get("queue_depth", 0) or 0)
+            if payload.get("capacity_req_per_sec") is not None:
+                total_capacity += float(payload["capacity_req_per_sec"])
+                modeled += 1
+            admission = payload.get("admission")
+            if isinstance(admission, dict):
+                admitted += int(admission.get("admitted", 0) or 0)
+                shed += int(admission.get("shed", 0) or 0)
+        return {
+            "queue_depth": queue_depth,
+            "capacity_req_per_sec": round(total_capacity, 1) if modeled else None,
+            "modeled_replicas": modeled,
+            "admission": {"admitted": admitted, "shed": shed},
+            "replicas": replicas,
+        }
 
     def describe(self) -> dict:
         return {"models": self.models(),

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,19 +30,34 @@ from .artifact import Servable, load_servable
 from .batching import BatcherStats, BatchingConfig, MicroBatcher, ShuttingDown
 from .registry import ModelRegistry
 
+if TYPE_CHECKING:   # pragma: no cover - typing only, avoids a hard import
+    from .capacity import AdmissionController, CapacityModel
+
 __all__ = ["Server"]
 
 
 class Server:
     """Serve registered servables with dynamic micro-batching.
 
+    With an :class:`~repro.serve.capacity.AdmissionController` attached
+    (``admission=`` or :meth:`set_admission`), every request passes the
+    model-driven admission gate before it queues: a request the calibrated
+    capacity model predicts cannot be answered inside its budget fails
+    synchronously with :class:`~repro.serve.Overloaded` (HTTP 429,
+    retryable) instead of rotting in the queue until it turns into a 504.
+
     Usable as a context manager; :meth:`close` drains every batcher.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
-                 batching: Optional[BatchingConfig] = None):
+                 batching: Optional[BatchingConfig] = None,
+                 admission: Optional["AdmissionController"] = None,
+                 capacity_model: Optional["CapacityModel"] = None):
         self.registry = registry or ModelRegistry()
         self.batching = batching or BatchingConfig()
+        self.admission = admission
+        self.capacity_model = capacity_model or (
+            admission.model if admission is not None else None)
         #: (name, version) -> (servable, its batcher); the servable is kept
         #: so a re-registered version is detected by weight fingerprint
         self._batchers: Dict[Tuple[str, str],
@@ -138,8 +153,12 @@ class Server:
         request fails fast with ``DeadlineExceeded`` once expired.
         """
         name, version, servable = self.registry.resolve(model)
-        return self._batcher_for(name, version, servable).submit(
-            inputs, priority=priority, deadline_ms=deadline_ms)
+        batcher = self._batcher_for(name, version, servable)
+        if self.admission is not None:
+            self.admission.admit(batcher.queue_depth(),
+                                 deadline_ms=deadline_ms)
+        return batcher.submit(inputs, priority=priority,
+                              deadline_ms=deadline_ms)
 
     def predict(self, inputs: np.ndarray, model: str = "default",
                 return_probabilities: bool = False,
@@ -148,6 +167,9 @@ class Server:
         """Blocking prediction returning a JSON-friendly response dict."""
         name, version, servable = self.registry.resolve(model)
         batcher = self._batcher_for(name, version, servable)
+        if self.admission is not None:
+            self.admission.admit(batcher.queue_depth(),
+                                 deadline_ms=deadline_ms)
         array = np.asarray(inputs)
         single = array.ndim == 1
         probabilities = batcher.submit(array, priority=priority,
@@ -239,6 +261,51 @@ class Server:
         """
         with self._lock:
             self._drain_flag = bool(draining)
+
+    def set_admission(self, admission: Optional["AdmissionController"]) -> None:
+        """Attach (or detach, with ``None``) the admission gate at runtime.
+
+        Typically called after a calibration probe: build the
+        :class:`~repro.serve.capacity.CapacityModel` from the loaded
+        servable, then gate the live traffic with it.
+        """
+        self.admission = admission
+        if admission is not None:
+            self.capacity_model = admission.model
+
+    def capacity(self) -> dict:
+        """The ``GET /capacity`` payload: model, admission gate, live load.
+
+        Reports the calibrated capacity model (service law, error bounds),
+        the admission controller's budget and counters, the current queue
+        depth, and — when both a model and traffic exist — the predicted
+        operating point at the batching config's capacity knee.  Empty
+        sections are ``None`` when no model/controller is attached, so the
+        endpoint is always routable and self-describing.
+        """
+        with self._lock:
+            batchers = [entry[1] for entry in self._batchers.values()]
+        queue_depth = sum(batcher.queue_depth() for batcher in batchers)
+        payload: dict = {
+            "queue_depth": queue_depth,
+            "batching": {
+                "max_batch_size": self.batching.max_batch_size,
+                "max_latency_ms": self.batching.max_latency_ms,
+                "num_workers": self.batching.num_workers,
+                "max_queue_size": self.batching.max_queue_size,
+            },
+            "model": None,
+            "admission": None,
+        }
+        if self.capacity_model is not None:
+            payload["model"] = self.capacity_model.describe()
+            payload["capacity_req_per_sec"] = round(
+                self.capacity_model.capacity(self.batching), 1)
+        if self.admission is not None:
+            payload["admission"] = self.admission.describe()
+            payload["admission"]["predicted_wait_ms"] = round(
+                self.admission.predicted_wait_ms(queue_depth), 3)
+        return payload
 
     def describe(self) -> dict:
         return {"models": self.registry.describe(),

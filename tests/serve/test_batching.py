@@ -329,6 +329,36 @@ class TestRequestValidation:
         assert len(calls) == 1                    # one forward total
 
 
+class TestBacklogScooping:
+    """Regression: a closed gather window must not cap batches at one row.
+
+    ``max_latency_ms`` bounds how long a batch *waits* for company.  It
+    used to also stop the worker from fusing requests already sitting in
+    the queue — with ``max_latency_ms=0`` every forward ran a single row
+    no matter how deep the backlog, so a batch-B config melted down at
+    ``1/s(B)`` req/s instead of reaching ``B/s(B)``.  Queued requests are
+    free to batch: scooping them adds zero latency.
+    """
+
+    def test_window_zero_fuses_the_backlog(self):
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=4, max_latency_ms=0,
+                                cache_size=0, pad_to_max_batch=False)
+        with MicroBatcher(model, config) as batcher:
+            plug = batcher.submit(np.ones(3))
+            assert model.entered.wait(timeout=10)
+            # Four requests pile up behind the in-flight forward...
+            futures = [batcher.submit(np.full(3, float(i)))
+                       for i in range(1, 5)]
+            model.release.set()
+            plug.result(timeout=10)
+            for i, future in zip(range(1, 5), futures):
+                assert np.array_equal(future.result(timeout=10),
+                                      np.full(3, float(i)))
+        # ...and are served as ONE four-row forward, not four singles.
+        assert model.call_sizes == [1, 4]
+
+
 class TestBatchOvershoot:
     """Regression: a multi-row request must not push a batch past the max."""
 

@@ -67,6 +67,59 @@ class TestDeadlines:
         assert stats["expired"] == 1
         assert stats["requests"] == 3
 
+    def test_deadline_expiring_between_gather_and_forward(self):
+        """The fuse-time re-check: a request gathered *live* whose deadline
+        passes while the batch opener waits out ``max_latency_ms`` must be
+        expired at fuse time — never occupying forward compute — while its
+        batch-mates are served unharmed."""
+        calls = []
+
+        def recording(batch):
+            calls.append(np.array(batch, copy=True))
+            return batch.copy()
+
+        # The doomed request opens the batch (so it is gathered while its
+        # deadline is still live), then the 150 ms gather window outlives
+        # its 40 ms deadline.
+        config = BatchingConfig(max_batch_size=8, max_latency_ms=150,
+                                cache_size=0, pad_to_max_batch=False)
+        with MicroBatcher(recording, config) as batcher:
+            doomed = batcher.submit(np.full(3, 7.0), deadline_ms=40)
+            survivor = batcher.submit(np.full(3, 9.0), deadline_ms=60_000)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=10)
+            assert np.array_equal(survivor.result(timeout=10),
+                                  np.full(3, 9.0))
+        # The doomed rows never reached the model.
+        assert not any((call == 7.0).all() for call in calls)
+        stats = batcher.stats()
+        assert stats["expired"] == 1
+        assert stats["served"] == 1
+        assert stats["requests"] == 2
+
+    def test_deadline_expiring_during_the_forward(self):
+        """The delivery-time re-check: a request whose forward *finishes*
+        after its deadline must fail with DeadlineExceeded — a request
+        never completes successfully after its own deadline — but the
+        computed result still lands in the cache for future callers."""
+        model = GatedModel()
+        config = BatchingConfig(max_batch_size=1, max_latency_ms=0,
+                                cache_size=64)
+        row = np.full(3, 5.0)
+        with MicroBatcher(model, config) as batcher:
+            late = batcher.submit(row, deadline_ms=40)
+            assert model.entered.wait(timeout=10)  # forward in flight
+            time.sleep(0.08)                       # deadline passes mid-forward
+            model.release.set()
+            with pytest.raises(DeadlineExceeded, match="deadline"):
+                late.result(timeout=10)
+            # The work was not wasted: the same input now hits the cache.
+            assert np.array_equal(batcher.submit(row).result(timeout=10), row)
+            stats = batcher.stats()
+        assert stats["expired"] == 1
+        assert stats["cache_hits"] == 1
+        assert len(model.calls) == 1               # served from cache, not re-run
+
     def test_already_expired_deadline_fails_at_submit(self):
         with MicroBatcher(lambda b: b.copy(),
                           BatchingConfig(cache_size=0)) as batcher:
