@@ -43,11 +43,14 @@ def module_accuracy_series(records: Iterable[ExperimentResult], dataset: str,
                                                      "fixmatch", "zsl_kg"),
                            methods: Sequence[str] = ("taglets", "taglets_prune0",
                                                      "taglets_prune1"),
-                           split_seed: Optional[int] = None
+                           split_seed: Optional[int] = None,
+                           scenario: Optional[str] = None
                            ) -> Dict[str, Dict[Tuple[int, str], Aggregate]]:
     """Figure 5/8/10/11 data: per-module accuracy by (shots, prune level).
 
-    Returns ``module -> (shots, prune_label) -> Aggregate``.
+    Returns ``module -> (shots, prune_label) -> Aggregate``.  ``scenario``
+    selects scenario-matrix rows by recorded scenario name (no string
+    parsing); ``None`` aggregates every matching record as before.
     """
     records = list(records)
     series: Dict[str, Dict[Tuple[int, str], List[float]]] = {m: {} for m in modules}
@@ -57,6 +60,8 @@ def module_accuracy_series(records: Iterable[ExperimentResult], dataset: str,
         if record.method not in methods:
             continue
         if split_seed is not None and record.split_seed != split_seed:
+            continue
+        if scenario is not None and record.scenario != scenario:
             continue
         prune_label = PRUNE_METHOD_LABELS.get(record.method, record.method)
         for module in modules:
@@ -76,7 +81,8 @@ def ensemble_improvement_series(records: Iterable[ExperimentResult], dataset: st
                                 methods: Sequence[str] = ("taglets",
                                                           "taglets_prune0",
                                                           "taglets_prune1"),
-                                split_seed: Optional[int] = None
+                                split_seed: Optional[int] = None,
+                                scenario: Optional[str] = None
                                 ) -> Dict[Tuple[int, str], Dict[str, Aggregate]]:
     """Figure 6/9/12/13 data: ensemble and end-model improvement over the
     average module accuracy, keyed by (shots, prune level).
@@ -91,6 +97,8 @@ def ensemble_improvement_series(records: Iterable[ExperimentResult], dataset: st
         if record.method not in methods:
             continue
         if split_seed is not None and record.split_seed != split_seed:
+            continue
+        if scenario is not None and record.scenario != scenario:
             continue
         module_values = [record.extras[f"module_{m}"] for m in modules
                          if f"module_{m}" in record.extras]

@@ -30,9 +30,23 @@ def top1_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
 
 def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
                      num_classes: int) -> np.ndarray:
-    """Row = true class, column = predicted class."""
+    """Row = true class, column = predicted class.
+
+    Classes with no examples simply yield all-zero rows/columns; an empty
+    split yields the all-zero matrix.  Out-of-range or negative class ids
+    raise ``ValueError`` instead of silently wrapping into the wrong cell
+    (negative indices used to land in the *last* row/column).
+    """
     predictions = np.asarray(predictions, dtype=np.int64)
     labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    for name, arr in (("predictions", predictions), ("labels", labels)):
+        if arr.size and (arr.min() < 0 or arr.max() >= num_classes):
+            raise ValueError(
+                f"{name} contain class ids outside [0, {num_classes})")
     matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
     np.add.at(matrix, (labels, predictions), 1)
     return matrix

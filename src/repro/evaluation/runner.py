@@ -42,6 +42,15 @@ class ExperimentResult:
     accuracy: float
     #: extra measurements (module accuracies, ensemble accuracy, ...)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: scenario-matrix provenance: ``None`` for paper-table rows, the
+    #: scenario name for rows produced by :mod:`repro.scenarios` — so table
+    #: and figure filters can select scenario rows structurally instead of
+    #: parsing method or dataset strings
+    scenario: Optional[str] = None
+    #: regime family of the scenario (``scarcity``, ``corruption``, ...)
+    scenario_family: Optional[str] = None
+    #: the scenario's regime axes (severity, imbalance ratio, phases, ...)
+    axes: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         record = {
@@ -49,6 +58,10 @@ class ExperimentResult:
             "split_seed": self.split_seed, "backbone": self.backbone,
             "seed": self.seed, "accuracy": self.accuracy,
         }
+        if self.scenario is not None:
+            record["scenario"] = self.scenario
+            record["scenario_family"] = self.scenario_family
+            record.update({f"axis_{k}": v for k, v in self.axes.items()})
         record.update({f"extra_{k}": v for k, v in self.extras.items()})
         return record
 
@@ -212,12 +225,15 @@ def aggregate_records(records: Iterable[ExperimentResult],
     """Aggregate records into mean ± 95% CI keyed by the grouping fields.
 
     ``value`` may be ``accuracy`` or ``extra_<name>`` for any extra metric.
+    Grouping fields absent from a record (e.g. ``scenario`` on paper-table
+    rows) key as ``None`` rather than failing, so mixed record sets remain
+    aggregable.
     """
     grouped: Dict[tuple, List[float]] = {}
     for record in records:
         data = record.as_dict()
         if value not in data:
             continue
-        key = tuple(data[g] for g in group_by)
+        key = tuple(data.get(g) for g in group_by)
         grouped.setdefault(key, []).append(float(data[value]))
     return {key: mean_confidence_interval(values) for key, values in grouped.items()}

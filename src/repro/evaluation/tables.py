@@ -36,12 +36,19 @@ BACKBONE_LABELS = {
 def results_matrix(records: Iterable[ExperimentResult], dataset: str,
                    backbone: str, shots_list: Sequence[int],
                    methods: Sequence[str],
-                   split_seed: Optional[int] = None
+                   split_seed: Optional[int] = None,
+                   scenario: Optional[str] = None
                    ) -> Dict[str, Dict[int, Aggregate]]:
-    """Aggregate records into ``method -> shots -> Aggregate`` for one table block."""
+    """Aggregate records into ``method -> shots -> Aggregate`` for one table block.
+
+    ``scenario`` selects scenario-matrix rows by name (``None`` keeps the
+    seed behaviour of aggregating every matching record); scenario provenance
+    lives on the records themselves, so no string parsing is involved.
+    """
     records = [r for r in records
                if r.dataset == dataset and r.backbone == backbone
-               and (split_seed is None or r.split_seed == split_seed)]
+               and (split_seed is None or r.split_seed == split_seed)
+               and (scenario is None or r.scenario == scenario)]
     aggregates = aggregate_records(records, group_by=("method", "shots"))
     matrix: Dict[str, Dict[int, Aggregate]] = {}
     for method in methods:
@@ -59,6 +66,7 @@ def format_results_table(records: Iterable[ExperimentResult], dataset: str,
                          shots_list: Sequence[int], methods: Sequence[str],
                          backbones: Sequence[str] = ("bit", "resnet50"),
                          split_seed: Optional[int] = None,
+                         scenario: Optional[str] = None,
                          title: Optional[str] = None,
                          as_percent: bool = True) -> str:
     """Render a paper-style table: one block per backbone, rows per method."""
@@ -74,7 +82,7 @@ def format_results_table(records: Iterable[ExperimentResult], dataset: str,
     scale = 100.0 if as_percent else 1.0
     for backbone in backbones:
         matrix = results_matrix(records, dataset, backbone, shots_list, methods,
-                                split_seed=split_seed)
+                                split_seed=split_seed, scenario=scenario)
         for method in methods:
             if method not in matrix:
                 continue

@@ -1,0 +1,169 @@
+"""Executing scenario cells: TAGLETS and baselines over built scenarios.
+
+:class:`ScenarioRunner` runs one method over one built scenario and records a
+:class:`ScenarioResult` row: final-stage accuracy, wall time, and — for the
+TAGLETS method — the replay executor's eager-fallback count, which the
+zero-fallback regression suite pins to 0 for every scenario-grid loop.
+
+Multi-stage scenarios (incremental arrivals, streaming pools) retrain from
+scratch per stage, exactly like the paper's controller would be re-run as new
+data lands; per-stage accuracies are recorded in ``extras`` and the *final*
+stage is what the gates see.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import Controller, ControllerConfig, Task
+from ..datasets.base import TaskSplit
+from ..evaluation.runner import ExperimentResult, baseline_method
+from ..nn.replay import ReplayStats
+from ..workspace import Workspace
+from .spec import ScenarioSpec, ScenarioTask
+
+__all__ = ["ScenarioResult", "ScenarioRunner", "BASELINE_METHODS",
+           "experiment_records"]
+
+#: Baseline method names the runner accepts (resolved through
+#: :func:`repro.evaluation.runner.baseline_method`).
+BASELINE_METHODS = ("finetune", "finetune_distilled", "fixmatch",
+                    "meta_pseudo_labels", "simclrv2")
+
+
+@dataclass
+class ScenarioResult:
+    """One (scenario, method, seed) measurement of the robustness grid."""
+
+    scenario: str
+    family: str
+    method: str
+    dataset: str
+    shots: int
+    backbone: str
+    seed: int
+    accuracy: float
+    wall_time_s: float
+    #: eager fallbacks reported by the replay executor (TAGLETS rows only;
+    #: must be 0 — every scenario loop is a static graph)
+    fallbacks: int = 0
+    axes: Dict[str, object] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_experiment_result(self) -> ExperimentResult:
+        """The row as a scenario-tagged :class:`ExperimentResult` record."""
+        return ExperimentResult(
+            method=self.method, dataset=self.dataset, shots=self.shots,
+            split_seed=0, backbone=self.backbone, seed=self.seed,
+            accuracy=self.accuracy, extras=dict(self.extras),
+            scenario=self.scenario, scenario_family=self.family,
+            axes=dict(self.axes))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario, "family": self.family,
+            "method": self.method, "dataset": self.dataset,
+            "shots": self.shots, "backbone": self.backbone, "seed": self.seed,
+            "accuracy": self.accuracy, "wall_time_s": self.wall_time_s,
+            "fallbacks": self.fallbacks, "axes": dict(self.axes),
+            "extras": dict(self.extras),
+        }
+
+
+class ScenarioRunner:
+    """Sweeps methods over scenario cells against one shared workspace."""
+
+    def __init__(self, workspace: Workspace, dtype: Optional[str] = "float32"):
+        self.workspace = workspace
+        self.dtype = dtype
+
+    # ------------------------------------------------------------------ #
+    # Single cells
+    # ------------------------------------------------------------------ #
+    def run_cell(self, spec: ScenarioSpec, method: str = "taglets",
+                 seed: int = 0,
+                 replay_stats: Optional[ReplayStats] = None) -> ScenarioResult:
+        """Run one (scenario, method, seed) cell and return its row.
+
+        ``replay_stats`` lets callers (the zero-fallback regression suite)
+        attach their own shared counter; by default the runner attaches a
+        private one and records its fallback count on the row.
+        """
+        scenario_task = spec.build(self.workspace)
+        started = time.perf_counter()
+        if method == "taglets":
+            accuracy, fallbacks, extras = self._run_taglets(
+                spec, scenario_task, seed, replay_stats)
+        elif method in BASELINE_METHODS:
+            accuracy, extras = self._run_baseline(method, spec, scenario_task,
+                                                  seed)
+            fallbacks = 0
+        else:
+            raise KeyError(
+                f"unknown method {method!r}; expected 'taglets' or one of "
+                f"{BASELINE_METHODS}")
+        wall_time = time.perf_counter() - started
+        return ScenarioResult(
+            scenario=spec.name, family=spec.family, method=method,
+            dataset=spec.dataset, shots=spec.shots, backbone=spec.backbone,
+            seed=seed, accuracy=accuracy, wall_time_s=wall_time,
+            fallbacks=fallbacks, axes=spec.axes(), extras=extras)
+
+    def _run_taglets(self, spec: ScenarioSpec, scenario_task: ScenarioTask,
+                     seed: int, replay_stats: Optional[ReplayStats]):
+        backbone = self.workspace.backbone(spec.backbone)
+        stats = replay_stats if replay_stats is not None else ReplayStats()
+        extras: Dict[str, float] = {}
+        accuracy = 0.0
+        for stage, split in enumerate(scenario_task.stages):
+            task = Task.from_split(
+                split, scads=self.workspace.scads, backbone=backbone,
+                wanted_num_related_class=spec.num_related_concepts,
+                images_per_related_class=spec.images_per_concept)
+            config = ControllerConfig(dtype=self.dtype, seed=seed,
+                                      replay_stats=stats)
+            result = Controller(config=config).run(task)
+            accuracy = result.end_model_accuracy(split.test_features,
+                                                 split.test_labels)
+            if scenario_task.multi_stage:
+                extras[f"stage{stage}_accuracy"] = accuracy
+            if stage == len(scenario_task.stages) - 1:
+                extras["ensemble"] = result.ensemble_accuracy(
+                    split.test_features, split.test_labels)
+                extras["end_model"] = accuracy
+        return accuracy, stats.fallback_count, extras
+
+    def _run_baseline(self, method: str, spec: ScenarioSpec,
+                      scenario_task: ScenarioTask, seed: int):
+        """Baselines see the final stage's data (all arrivals landed)."""
+        record = baseline_method(method).run(
+            self.workspace, scenario_task.final, spec.backbone, seed)
+        return record.accuracy, dict(record.extras)
+
+    # ------------------------------------------------------------------ #
+    # Grids
+    # ------------------------------------------------------------------ #
+    def run_grid(self, specs: Sequence[ScenarioSpec],
+                 methods: Sequence[str] = ("taglets", "finetune"),
+                 seeds: Sequence[int] = (0,),
+                 progress: Optional[Callable[[ScenarioResult], None]] = None
+                 ) -> List[ScenarioResult]:
+        """Run every (scenario, method, seed) cell and return all rows."""
+        rows: List[ScenarioResult] = []
+        for spec in specs:
+            for method in methods:
+                for seed in seeds:
+                    row = self.run_cell(spec, method=method, seed=seed)
+                    rows.append(row)
+                    if progress is not None:
+                        progress(row)
+        return rows
+
+
+def experiment_records(results: Iterable[ScenarioResult]) -> List[ExperimentResult]:
+    """Scenario rows as scenario-tagged experiment records (for figures/tables)."""
+    return [row.as_experiment_result() for row in results]

@@ -6,12 +6,19 @@ auxiliary-data selection exploits.  Domain shifts reproduce the visual
 domains of the paper's tasks (natural, product, clipart, smartphone).
 """
 
-from .domains import (DOMAIN_NAMES, ClipartDomain, DomainShift, NaturalDomain,
-                      ProductDomain, SmartphoneDomain, build_domain)
+from .domains import (CORRUPTION_NAMES, DOMAIN_NAMES, MAX_SEVERITY,
+                      ClipartDomain, Corruption, DomainShift,
+                      GaussianNoiseCorruption, MixingCorruption, NaturalDomain,
+                      OcclusionCorruption, ProductDomain, SmartphoneDomain,
+                      build_corruption, build_domain)
+from .streams import ArrivalSchedule, chunk_indices, subsample_indices
 from .world import VisualWorld, WorldSpec
 
 __all__ = [
     "VisualWorld", "WorldSpec",
     "DomainShift", "NaturalDomain", "ProductDomain", "ClipartDomain",
     "SmartphoneDomain", "build_domain", "DOMAIN_NAMES",
+    "Corruption", "GaussianNoiseCorruption", "OcclusionCorruption",
+    "MixingCorruption", "build_corruption", "CORRUPTION_NAMES", "MAX_SEVERITY",
+    "ArrivalSchedule", "chunk_indices", "subsample_indices",
 ]

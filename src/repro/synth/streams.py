@@ -1,0 +1,81 @@
+"""Arrival machinery for incremental and streaming scenarios.
+
+The scenario matrix (:mod:`repro.scenarios`) stresses the pipeline with data
+that does not arrive all at once: classes appear in phases (class-incremental
+learning) and the unlabeled pool grows in chunks (streaming SSL).  This
+module holds the deterministic index bookkeeping both regimes share:
+
+* :class:`ArrivalSchedule` partitions class indices into ordered,
+  non-empty phases (a permutation of the label space sliced into near-equal
+  groups), and exposes the *cumulative* class sets a class-incremental
+  learner sees after each phase;
+* :func:`chunk_indices` partitions a pool of ``count`` rows into ordered,
+  near-equal chunks (the streaming unlabeled arrivals);
+* :func:`subsample_indices` draws a fixed-size sorted subsample of a pool
+  (the "small unlabeled pool" axis).
+
+Everything is a pure function of its seed — two processes building the same
+schedule get bit-identical index arrays, which is what lets the scenario
+gates assert exact accuracy floors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["ArrivalSchedule", "chunk_indices", "subsample_indices"]
+
+
+def _partition(order: np.ndarray, num_groups: int) -> List[np.ndarray]:
+    """Slice ``order`` into ``num_groups`` contiguous near-equal groups."""
+    if num_groups <= 0:
+        raise ValueError("need at least one group")
+    if num_groups > len(order):
+        raise ValueError(
+            f"cannot split {len(order)} items into {num_groups} non-empty groups")
+    return [np.sort(part) for part in np.array_split(order, num_groups)]
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A deterministic order in which classes arrive, sliced into phases."""
+
+    num_phases: int
+    seed: int = 0
+
+    def phases(self, num_classes: int) -> List[np.ndarray]:
+        """Class indices arriving at each phase (disjoint, all non-empty)."""
+        order = np.random.default_rng(self.seed).permutation(num_classes)
+        return _partition(order, self.num_phases)
+
+    def cumulative(self, num_classes: int) -> List[np.ndarray]:
+        """Class indices *seen so far* after each phase (sorted, growing)."""
+        seen: List[np.ndarray] = []
+        acc = np.zeros(0, dtype=np.int64)
+        for phase in self.phases(num_classes):
+            acc = np.sort(np.concatenate([acc, phase]))
+            seen.append(acc)
+        return seen
+
+
+def chunk_indices(count: int, num_chunks: int, seed: int = 0) -> List[np.ndarray]:
+    """Partition row indices ``0..count-1`` into ordered streaming chunks."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    order = np.random.default_rng(seed).permutation(count)
+    return _partition(order, num_chunks)
+
+
+def subsample_indices(count: int, fraction: float, seed: int = 0) -> np.ndarray:
+    """A sorted subsample of ``round(fraction * count)`` row indices."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    keep = int(round(fraction * count))
+    keep = max(1, keep) if count else 0
+    order = np.random.default_rng(seed).permutation(count)
+    return np.sort(order[:keep])

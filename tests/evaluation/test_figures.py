@@ -42,6 +42,18 @@ class TestModuleAccuracySeries:
         series = module_accuracy_series(records, dataset="grocery_store")
         assert all(not cells for cells in series.values())
 
+    def test_scenario_filter(self, records):
+        from dataclasses import replace
+
+        tagged = replace(records[0], scenario="fmd_1shot_noise",
+                         scenario_family="corruption")
+        combined = records + [tagged]
+        series = module_accuracy_series(combined, dataset="fmd",
+                                        scenario="fmd_1shot_noise")
+        assert series["transfer"][(1, "no_pruning")].count == 1
+        untagged = module_accuracy_series(combined, dataset="fmd")
+        assert untagged["transfer"][(1, "no_pruning")].count == 2
+
 
 class TestEnsembleImprovementSeries:
     def test_gains_computed_against_average_module(self, records):

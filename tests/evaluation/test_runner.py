@@ -22,6 +22,37 @@ class TestRecords:
         assert data["accuracy"] == 0.5
         assert data["extra_ensemble"] == 0.6
 
+    def test_untagged_record_has_no_scenario_keys(self):
+        # Plain experiment records keep their pre-scenario dict shape, so
+        # existing table/figure consumers see no new keys.
+        data = fake_record().as_dict()
+        assert "scenario" not in data
+        assert not any(key.startswith("axis_") for key in data)
+
+    def test_scenario_tagged_record_carries_metadata(self):
+        record = ExperimentResult(
+            method="taglets", dataset="fmd", shots=1, split_seed=0,
+            backbone="resnet50", seed=0, accuracy=0.6,
+            scenario="fmd_1shot", scenario_family="scarcity",
+            axes={"shots": 1, "imbalance": 0.2})
+        data = record.as_dict()
+        assert data["scenario"] == "fmd_1shot"
+        assert data["scenario_family"] == "scarcity"
+        assert data["axis_shots"] == 1
+        assert data["axis_imbalance"] == 0.2
+
+    def test_aggregate_records_tolerates_absent_group_fields(self):
+        # Grouping by scenario must not KeyError on untagged records —
+        # they land under the None key instead.
+        records = [fake_record(accuracy=0.4),
+                   ExperimentResult(method="m", dataset="d", shots=1,
+                                    split_seed=0, backbone="b", seed=0,
+                                    accuracy=0.8, scenario="s",
+                                    scenario_family="clean")]
+        aggregates = aggregate_records(records, group_by=("scenario",))
+        assert aggregates[(None,)].mean == pytest.approx(0.4)
+        assert aggregates[("s",)].mean == pytest.approx(0.8)
+
     def test_aggregate_records_groups_and_averages(self):
         records = [fake_record(seed=0, accuracy=0.4), fake_record(seed=1, accuracy=0.6),
                    fake_record(method="other", accuracy=0.9)]

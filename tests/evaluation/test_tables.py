@@ -36,6 +36,23 @@ class TestResultsMatrix:
                                 shots_list=[1], methods=["finetune"])
         assert matrix == {}
 
+    def test_scenario_filter_selects_tagged_rows(self, records):
+        from dataclasses import replace
+
+        tagged = [replace(r, scenario="fmd_noise", scenario_family="corruption",
+                          accuracy=r.accuracy - 0.2) for r in records]
+        combined = records + tagged
+        plain = results_matrix(combined, dataset="fmd", backbone="resnet50",
+                               shots_list=[5], methods=["taglets"])
+        noisy = results_matrix(combined, dataset="fmd", backbone="resnet50",
+                               shots_list=[5], methods=["taglets"],
+                               scenario="fmd_noise")
+        # without a filter every row aggregates together; with one, only the
+        # tagged scenario's rows survive — no string parsing involved
+        assert noisy["taglets"][5].mean == pytest.approx(0.60)
+        assert noisy["taglets"][5].count == 3
+        assert plain["taglets"][5].count == 6
+
 
 class TestFormatting:
     def test_format_results_table_contains_rows_and_values(self, records):

@@ -136,6 +136,36 @@ class TestFixMatchTwoView:
         _assert_no_fallbacks(stats)
 
 
+class TestScenarioLoops:
+    # The scenario grid stresses the pipeline with regime shapes the plain
+    # FMD split never produces — ragged per-class label counts, corrupted
+    # pools, per-stage retraining over growing class sets.  Every one of
+    # those training loops must still replay with zero eager fallbacks.
+    @pytest.mark.parametrize("name", ["fmd_5shot_imbalanced",
+                                      "cifar_5shot_mixing_s2"])
+    def test_single_stage_scenario_zero_fallbacks(self, name, tiny_workspace):
+        from repro.scenarios import ScenarioRunner, get_scenario
+
+        stats = ReplayStats()
+        runner = ScenarioRunner(tiny_workspace)
+        row = runner.run_cell(get_scenario(name), method="taglets", seed=0,
+                              replay_stats=stats)
+        _assert_no_fallbacks(stats)
+        assert row.fallbacks == 0
+
+    def test_multi_stage_scenario_zero_fallbacks(self, tiny_workspace):
+        # Incremental stages retrain from scratch on different class counts
+        # — new graph signatures per stage, but still never an eager step.
+        from repro.scenarios import ScenarioRunner, get_scenario
+
+        stats = ReplayStats()
+        runner = ScenarioRunner(tiny_workspace)
+        row = runner.run_cell(get_scenario("cifar_incremental_2phase"),
+                              method="taglets", seed=0, replay_stats=stats)
+        _assert_no_fallbacks(stats)
+        assert row.fallbacks == 0
+
+
 class TestControllerRun:
     def test_full_pipeline_zero_fallbacks(self, tiny_workspace, tiny_backbone):
         # Every training loop in a full TAGLETS run — all four paper-default

@@ -1,0 +1,79 @@
+"""Tests for arrival schedules and streaming-pool helpers."""
+
+import numpy as np
+import pytest
+
+from repro.synth import ArrivalSchedule, chunk_indices, subsample_indices
+
+
+class TestArrivalSchedule:
+    def test_phases_partition_all_classes(self):
+        schedule = ArrivalSchedule(num_phases=3, seed=0)
+        phases = schedule.phases(10)
+        assert len(phases) == 3
+        seen = np.concatenate(phases)
+        assert sorted(seen.tolist()) == list(range(10))
+        lengths = {len(phase) for phase in phases}
+        assert lengths <= {3, 4}  # near-even split
+
+    def test_phases_sorted_within_phase(self):
+        for phase in ArrivalSchedule(num_phases=4, seed=1).phases(12):
+            assert np.all(np.diff(phase) > 0)
+
+    def test_cumulative_grows_to_everything(self):
+        schedule = ArrivalSchedule(num_phases=3, seed=2)
+        cumulative = schedule.cumulative(9)
+        assert len(cumulative) == 3
+        for earlier, later in zip(cumulative, cumulative[1:]):
+            assert set(earlier.tolist()) < set(later.tolist())
+        assert cumulative[-1].tolist() == list(range(9))
+
+    def test_deterministic_by_seed(self):
+        a = ArrivalSchedule(num_phases=3, seed=5).phases(10)
+        b = ArrivalSchedule(num_phases=3, seed=5).phases(10)
+        c = ArrivalSchedule(num_phases=3, seed=6).phases(10)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+        assert any(not np.array_equal(left, right)
+                   for left, right in zip(a, c))
+
+    def test_too_many_phases_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule(num_phases=11).phases(10)
+
+    def test_nonpositive_phases_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule(num_phases=0).phases(5)
+
+
+class TestChunkIndices:
+    def test_chunks_partition_range(self):
+        chunks = chunk_indices(20, num_chunks=3, seed=0)
+        assert len(chunks) == 3
+        seen = np.concatenate(chunks)
+        assert sorted(seen.tolist()) == list(range(20))
+
+    def test_deterministic(self):
+        a = chunk_indices(15, 4, seed=3)
+        b = chunk_indices(15, 4, seed=3)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+
+class TestSubsampleIndices:
+    def test_fraction_keeps_expected_count(self):
+        kept = subsample_indices(100, fraction=0.25, seed=0)
+        assert len(kept) == 25
+        assert np.all(np.diff(kept) > 0)  # sorted, unique
+
+    def test_full_fraction_keeps_everything(self):
+        assert subsample_indices(7, fraction=1.0).tolist() == list(range(7))
+
+    def test_tiny_fraction_keeps_at_least_one(self):
+        assert len(subsample_indices(50, fraction=0.001)) == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            subsample_indices(10, fraction=0.0)
+        with pytest.raises(ValueError):
+            subsample_indices(10, fraction=1.5)
